@@ -1,0 +1,21 @@
+# Benchmark binaries. Included from the top-level CMakeLists so that
+# ${CMAKE_BINARY_DIR}/bench contains ONLY the executables — the reproduction
+# workflow executes every file in that directory:
+#   for b in build/bench/*; do $b; done
+function(kmsg_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE kmsg_apps benchmark::benchmark)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+kmsg_bench(fig1_ratio_distribution)
+kmsg_bench(fig2_psp_convergence)
+kmsg_bench(fig4_td_qmatrix)
+kmsg_bench(fig5_td_model)
+kmsg_bench(fig6_td_approx)
+kmsg_bench(fig8_latency)
+kmsg_bench(fig9_throughput)
+kmsg_bench(ablation_udt_buffers)
+kmsg_bench(ablation_adaptivity)
+kmsg_bench(micro_benchmarks)

@@ -1,0 +1,211 @@
+// Micro-benchmarks (google-benchmark) for the building blocks whose costs
+// determine middleware throughput: ByteBuf encoding, the snappy-like codec,
+// frame decoding, message (de)serialisation, protocol-selection policies,
+// Sarsa(λ) steps, simulator event dispatch and Kompics event handling.
+#include <benchmark/benchmark.h>
+
+#include "adaptive/prp.hpp"
+#include "adaptive/psp.hpp"
+#include "apps/messages.hpp"
+#include "kompics/system.hpp"
+#include "rl/sarsa.hpp"
+#include "sim/simulator.hpp"
+#include "wire/framing.hpp"
+#include "wire/snappy.hpp"
+
+namespace {
+
+using namespace kmsg;
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint8_t> out(n);
+  Rng rng(seed);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+std::vector<std::uint8_t> compressible_bytes(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::uint8_t>(i % 29);
+  return out;
+}
+
+void BM_ByteBufWritePrimitives(benchmark::State& state) {
+  for (auto _ : state) {
+    wire::ByteBuf buf;
+    for (int i = 0; i < 100; ++i) {
+      buf.write_u32(static_cast<std::uint32_t>(i));
+      buf.write_varint(static_cast<std::uint64_t>(i) * 7919);
+      buf.write_f64(static_cast<double>(i) * 1.5);
+    }
+    benchmark::DoNotOptimize(buf.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 300);
+}
+BENCHMARK(BM_ByteBufWritePrimitives);
+
+void BM_SnappyCompress(benchmark::State& state) {
+  const bool compressible = state.range(0) == 1;
+  auto input = compressible ? compressible_bytes(65000) : random_bytes(65000, 3);
+  for (auto _ : state) {
+    auto out = wire::snappy_compress(input);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 65000);
+  state.SetLabel(compressible ? "compressible" : "incompressible");
+}
+BENCHMARK(BM_SnappyCompress)->Arg(0)->Arg(1);
+
+void BM_SnappyDecompress(benchmark::State& state) {
+  auto compressed = wire::snappy_compress(compressible_bytes(65000));
+  for (auto _ : state) {
+    auto out = wire::snappy_decompress(compressed);
+    benchmark::DoNotOptimize(out->data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 65000);
+}
+BENCHMARK(BM_SnappyDecompress);
+
+void BM_FrameDecode(benchmark::State& state) {
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 64; ++i) {
+    auto f = wire::encode_frame(random_bytes(1000, static_cast<std::uint64_t>(i)));
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  for (auto _ : state) {
+    wire::FrameDecoder dec;
+    std::size_t frames = 0;
+    dec.set_on_frame([&](std::vector<std::uint8_t>) { ++frames; });
+    dec.feed(stream);
+    benchmark::DoNotOptimize(frames);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_FrameDecode);
+
+void BM_MessageSerializeRoundTrip(benchmark::State& state) {
+  messaging::SerializerRegistry reg;
+  apps::register_app_serializers(reg);
+  messaging::DataHeader h{messaging::Address{1, 100}, messaging::Address{2, 200},
+                          messaging::Transport::kTcp};
+  apps::DataChunkMsg chunk{h, 1, 0, apps::make_payload(0, 65000), false};
+  for (auto _ : state) {
+    auto bytes = reg.serialize(chunk);
+    auto msg = reg.deserialize(*bytes);
+    benchmark::DoNotOptimize(msg.get());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 65000);
+}
+BENCHMARK(BM_MessageSerializeRoundTrip);
+
+void BM_PatternSelectionNext(benchmark::State& state) {
+  adaptive::PatternSelection psp;
+  psp.set_ratio(0.37);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psp.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PatternSelectionNext);
+
+void BM_PatternRebuild(benchmark::State& state) {
+  adaptive::PatternSelection psp;
+  double r = 0.01;
+  for (auto _ : state) {
+    psp.set_ratio(r);
+    r += 0.013;
+    if (r > 0.99) r = 0.01;
+    benchmark::DoNotOptimize(psp.pattern().size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PatternRebuild);
+
+void BM_SarsaStep(benchmark::State& state) {
+  rl::AdditiveModel model(11, {-2, -1, 0, 1, 2});
+  rl::SarsaLambda sarsa(std::make_unique<rl::QuadApproxV>(model),
+                        rl::SarsaConfig{}, Rng(1));
+  sarsa.begin(5);
+  int s = 5;
+  for (auto _ : state) {
+    const int a = sarsa.step(0.5, s);
+    s = model.next_state(s, a);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SarsaStep);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule_after(Duration::micros(i % 777), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+// Kompics event dispatch: producer -> channel -> consumer round trip.
+struct BenchEvent final : kompics::KompicsEvent {
+  explicit BenchEvent(int v) : value(v) {}
+  int value;
+};
+struct BenchPort : kompics::PortType {
+  BenchPort() { indication<BenchEvent>(); }
+};
+class BenchProducer final : public kompics::ComponentDefinition {
+ public:
+  void setup() override { port_ = &provides<BenchPort>(); }
+  kompics::PortInstance& port() { return *port_; }
+  void emit(int v) { trigger(kompics::make_event<BenchEvent>(v), *port_); }
+
+ private:
+  kompics::PortInstance* port_ = nullptr;
+};
+class BenchConsumer final : public kompics::ComponentDefinition {
+ public:
+  void setup() override {
+    port_ = &require<BenchPort>();
+    subscribe<BenchEvent>(*port_, [this](const BenchEvent& e) { sum += e.value; });
+  }
+  kompics::PortInstance& port() { return *port_; }
+  long sum = 0;
+
+ private:
+  kompics::PortInstance* port_ = nullptr;
+};
+
+void BM_KompicsEventDispatch(benchmark::State& state) {
+  sim::Simulator sim;
+  kompics::KompicsSystem sys(sim);
+  auto& prod = sys.create<BenchProducer>("p");
+  auto& cons = sys.create<BenchConsumer>("c");
+  sys.connect(prod.port(), cons.port());
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) prod.emit(i);
+    sim.run();
+  }
+  benchmark::DoNotOptimize(cons.sum);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_KompicsEventDispatch);
+
+void BM_PayloadGeneration(benchmark::State& state) {
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    auto p = apps::make_payload(offset, 65000);
+    offset += 65000;
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 65000);
+}
+BENCHMARK(BM_PayloadGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Quickstart: the Kompics component model in 5 minutes.
+//
+// Builds a tiny system of two components — a Worker providing a Jobs port
+// and a Client requiring it — wires them with a channel, runs them on the
+// *real* thread-pool scheduler (no simulation involved), and uses the Timer
+// facility for a periodic heartbeat. This is the smallest end-to-end use of
+// the public API:
+//
+//   1. declare a PortType (indications + requests),
+//   2. derive ComponentDefinitions, declare ports in setup(), subscribe
+//      handlers, trigger events,
+//   3. create components in a KompicsSystem, connect ports, start.
+//
+// Run: ./quickstart
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "kompics/system.hpp"
+#include "kompics/timer.hpp"
+
+using namespace kmsg;
+using namespace kmsg::kompics;
+
+// --- 1. Events and the port type ---
+
+struct JobRequest final : KompicsEvent {
+  JobRequest(std::uint64_t id_, std::uint64_t number_) : id(id_), number(number_) {}
+  std::uint64_t id;
+  std::uint64_t number;
+};
+
+struct JobResult final : KompicsEvent {
+  JobResult(std::uint64_t id_, std::uint64_t result_) : id(id_), result(result_) {}
+  std::uint64_t id;
+  std::uint64_t result;
+};
+
+/// The "service specification": clients send JobRequests, the provider
+/// answers with JobResult indications.
+struct Jobs : PortType {
+  Jobs() {
+    set_name("Jobs");
+    request<JobRequest>();
+    indication<JobResult>();
+  }
+};
+
+// --- 2. Components ---
+
+class Worker final : public ComponentDefinition {
+ public:
+  void setup() override {
+    jobs_ = &provides<Jobs>();
+    subscribe<JobRequest>(*jobs_, [this](const JobRequest& req) {
+      // Collatz path length: a stand-in for "work".
+      std::uint64_t n = req.number, steps = 0;
+      while (n != 1) {
+        n = (n % 2 == 0) ? n / 2 : 3 * n + 1;
+        ++steps;
+      }
+      trigger(make_event<JobResult>(req.id, steps), *jobs_);
+    });
+  }
+  PortInstance& jobs() { return *jobs_; }
+
+ private:
+  PortInstance* jobs_ = nullptr;
+};
+
+class Client final : public ComponentDefinition {
+ public:
+  void setup() override {
+    jobs_ = &require<Jobs>();
+    timer_ = &require<Timer>();
+    heartbeat_id_ = next_timeout_id();
+
+    subscribe<Start>(control(), [this](const Start&) {
+      std::printf("[client] started; submitting jobs\n");
+      for (std::uint64_t i = 1; i <= 20; ++i) {
+        trigger(make_event<JobRequest>(i, i * 97 + 5), *jobs_);
+      }
+      trigger(make_event<SchedulePeriodic>(heartbeat_id_, Duration::millis(50),
+                                           Duration::millis(50)),
+              *timer_);
+    });
+    subscribe<JobResult>(*jobs_, [this](const JobResult& res) {
+      std::printf("[client] job %llu -> %llu steps\n",
+                  static_cast<unsigned long long>(res.id),
+                  static_cast<unsigned long long>(res.result));
+      if (++completed_ == 20) done.store(true);
+    });
+    subscribe<Timeout>(*timer_, [this](const Timeout& t) {
+      if (t.id == heartbeat_id_) {
+        std::printf("[client] heartbeat (%d jobs done)\n", completed_);
+      }
+    });
+  }
+  PortInstance& jobs() { return *jobs_; }
+  PortInstance& timer() { return *timer_; }
+  std::atomic<bool> done{false};
+
+ private:
+  PortInstance* jobs_ = nullptr;
+  PortInstance* timer_ = nullptr;
+  TimeoutId heartbeat_id_ = 0;
+  int completed_ = 0;
+};
+
+int main() {
+  // --- 3. Assemble and run on real threads ---
+  KompicsSystem system(/*worker_threads=*/4);
+  auto& worker = system.create<Worker>("worker");
+  auto& client = system.create<Client>("client");
+  auto& timer = system.create<TimerComponent>("timer");
+
+  system.connect(worker.jobs(), client.jobs());
+  system.connect(timer.provides_port(), client.timer());
+  system.start_all();
+
+  for (int i = 0; i < 100 && !client.done.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  system.shutdown();
+  std::printf("quickstart: %s\n", client.done.load() ? "all jobs completed"
+                                                     : "TIMED OUT");
+  return client.done.load() ? 0 : 1;
+}

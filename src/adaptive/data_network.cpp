@@ -1,0 +1,18 @@
+#include "adaptive/data_network.hpp"
+
+namespace kmsg::adaptive {
+
+DataNetwork DataNetwork::create(
+    kompics::KompicsSystem& system, netsim::Host& host,
+    messaging::NetworkConfig net_config, DataNetworkConfig data_config,
+    std::shared_ptr<messaging::SerializerRegistry> registry) {
+  auto& net = system.create<messaging::NetworkComponent>(
+      "network@" + net_config.self.to_string(), host, net_config,
+      std::move(registry));
+  auto& ic = system.create<DataInterceptor>(
+      "data-interceptor@" + net_config.self.to_string(), std::move(data_config));
+  system.connect(net.network_port(), ic.network_port());
+  return DataNetwork{&net, &ic};
+}
+
+}  // namespace kmsg::adaptive

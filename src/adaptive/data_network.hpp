@@ -1,0 +1,36 @@
+// DataNetwork: convenience wrapper bundling a NetworkComponent with a
+// DataInterceptor (paper §IV-A "The DataNetwork component is provided to
+// wrap the interceptor and the network component, in order to simplify
+// setup"). Consumers connect their required Network port to port() and get
+// transparent DATA handling; in this implementation all traffic chains
+// through the interceptor, which forwards non-DATA messages unmodified (the
+// Java version splits them with channel selectors instead — observationally
+// equivalent).
+#pragma once
+
+#include "adaptive/interceptor.hpp"
+
+namespace kmsg::adaptive {
+
+class DataNetwork {
+ public:
+  /// Creates and wires both components inside `system`. They start with the
+  /// system (start_all) or can be started individually.
+  static DataNetwork create(kompics::KompicsSystem& system, netsim::Host& host,
+                            messaging::NetworkConfig net_config,
+                            DataNetworkConfig data_config,
+                            std::shared_ptr<messaging::SerializerRegistry> registry);
+
+  /// The consumer-facing provided Network port.
+  kompics::PortInstance& port() { return interceptor_->consumer_port(); }
+  messaging::NetworkComponent& network() { return *network_; }
+  DataInterceptor& interceptor() { return *interceptor_; }
+
+ private:
+  DataNetwork(messaging::NetworkComponent* net, DataInterceptor* ic)
+      : network_(net), interceptor_(ic) {}
+  messaging::NetworkComponent* network_;
+  DataInterceptor* interceptor_;
+};
+
+}  // namespace kmsg::adaptive

@@ -1,0 +1,190 @@
+#include "adaptive/interceptor.hpp"
+
+#include "common/logging.hpp"
+
+namespace kmsg::adaptive {
+
+using messaging::Address;
+using messaging::DataHeader;
+using messaging::DataMsg;
+using messaging::Msg;
+using messaging::MsgPtr;
+using messaging::Transport;
+
+DataInterceptor::~DataInterceptor() {
+  for (auto& [peer, flow] : flows_) {
+    if (flow->episode_cancel) flow->episode_cancel();
+  }
+}
+
+void DataInterceptor::setup() {
+  rng_ = Rng{config_.seed};
+  up_ = &provides<messaging::Network>();
+  down_ = &require<messaging::Network>();
+
+  // Consumer-side requests.
+  subscribe_ptr<Msg>(*up_, [this](MsgPtr m) { on_outgoing(std::move(m), {}); });
+  subscribe_ptr<messaging::MessageNotifyReq>(
+      *up_, [this](std::shared_ptr<const messaging::MessageNotifyReq> req) {
+        on_outgoing(req->msg, req->id);
+      });
+
+  // Network-side indications: pass everything up; mine NetworkStatus for
+  // acknowledgement progress.
+  subscribe_ptr<Msg>(*down_, [this](MsgPtr m) { trigger(std::move(m), *up_); });
+  subscribe_ptr<messaging::MessageNotifyResp>(
+      *down_, [this](std::shared_ptr<const messaging::MessageNotifyResp> resp) {
+        trigger(std::move(resp), *up_);
+      });
+  subscribe_ptr<messaging::NetworkStatus>(
+      *down_, [this](std::shared_ptr<const messaging::NetworkStatus> status) {
+        on_status(*status);
+        trigger(std::move(status), *up_);
+      });
+}
+
+void DataInterceptor::on_outgoing(MsgPtr msg,
+                                  std::optional<messaging::NotifyId> notify) {
+  const auto* dh = dynamic_cast<const DataHeader*>(&msg->header());
+  const auto* dm = dynamic_cast<const DataMsg*>(msg.get());
+  const bool intercept = dh != nullptr && !dh->resolved() && dm != nullptr;
+  if (!intercept) {
+    // Transparent passthrough for non-DATA traffic.
+    if (notify) {
+      trigger(kompics::make_event<messaging::MessageNotifyReq>(std::move(msg),
+                                                               *notify),
+              *down_);
+    } else {
+      trigger(std::move(msg), *down_);
+    }
+    return;
+  }
+
+  Flow& flow = flow_for(msg->header().destination().with_vnode(0));
+  flow.queue.emplace_back(std::move(msg), notify);
+  pump(flow);
+}
+
+DataInterceptor::Flow& DataInterceptor::flow_for(const Address& peer) {
+  if (auto it = flows_.find(peer); it != flows_.end()) return *it->second;
+
+  auto flow = std::make_unique<Flow>();
+  flow->peer = peer;
+  flow->psp = make_psp(config_.psp_kind, rng_.split());
+  if (config_.td_config) {
+    flow->prp = std::make_unique<TDRatioLearner>(*config_.td_config, rng_.split());
+  } else {
+    flow->prp = make_prp(config_.prp_kind, config_.static_prob_udt, rng_.split());
+  }
+  flow->target_prob = flow->prp->begin(config_.initial_prob_udt);
+  flow->psp->set_ratio(flow->target_prob);
+
+  Flow& ref = *flow;
+  flows_.emplace(peer, std::move(flow));
+
+  Flow* raw = &ref;
+  ref.episode_cancel = system().scheduler().schedule_delayed(
+      config_.episode_length, [this, raw] { episode_end(*raw); });
+  return ref;
+}
+
+void DataInterceptor::release_one(Flow& flow) {
+  auto [msg, notify] = std::move(flow.queue.front());
+  flow.queue.pop_front();
+
+  const auto& dm = dynamic_cast<const DataMsg&>(*msg);
+  const Transport t = flow.psp->next();
+  MsgPtr resolved = dm.with_protocol(t);
+  const std::size_t sz = dm.payload_size();
+
+  flow.released_since_status += sz;
+  ++flow.ep_released;
+  if (t == Transport::kUdt) {
+    ++flow.total_udt;
+  } else {
+    ++flow.total_tcp;
+  }
+
+  if (notify) {
+    trigger(kompics::make_event<messaging::MessageNotifyReq>(std::move(resolved),
+                                                             *notify),
+            *down_);
+  } else {
+    trigger(std::move(resolved), *down_);
+  }
+}
+
+void DataInterceptor::pump(Flow& flow) {
+  while (!flow.queue.empty() &&
+         inflight_estimate(flow) < config_.inflight_window_bytes) {
+    release_one(flow);
+  }
+}
+
+void DataInterceptor::on_status(const messaging::NetworkStatus& status) {
+  // Aggregate transport progress per flow peer over TCP and UDT sessions.
+  for (auto& [peer, flow] : flows_) {
+    std::uint64_t unacked = 0;
+    std::uint64_t acked = 0;
+    bool any = false;
+    for (const auto& s : status.sessions) {
+      if (!(s.peer == peer)) continue;
+      if (s.transport != Transport::kTcp && s.transport != Transport::kUdt) continue;
+      unacked += s.bytes_unacked;
+      acked += s.bytes_acked;
+      any = true;
+    }
+    if (!any) continue;
+    flow->base_unacked = unacked;
+    flow->released_since_status = 0;
+    flow->last_status_acked = acked;
+    pump(*flow);
+  }
+}
+
+void DataInterceptor::episode_end(Flow& flow) {
+  EpisodeStats stats;
+  stats.length = config_.episode_length;
+  stats.bytes_acked = flow.last_status_acked >= flow.episode_start_acked
+                          ? flow.last_status_acked - flow.episode_start_acked
+                          : 0;
+  stats.messages_released = flow.ep_released;
+  stats.throughput_bps =
+      static_cast<double>(stats.bytes_acked) / stats.length.as_seconds();
+
+  flow.last_throughput = stats.throughput_bps;
+  flow.episode_start_acked = flow.last_status_acked;
+  flow.ep_released = 0;
+  ++flow.episodes;
+
+  flow.target_prob = flow.prp->update(stats);
+  flow.psp->set_ratio(flow.target_prob);
+  pump(flow);
+
+  Flow* raw = &flow;
+  flow.episode_cancel = system().scheduler().schedule_delayed(
+      config_.episode_length, [this, raw] { episode_end(*raw); });
+}
+
+std::vector<DataInterceptor::FlowSnapshot> DataInterceptor::flows() const {
+  std::vector<FlowSnapshot> out;
+  out.reserve(flows_.size());
+  for (const auto& [peer, f] : flows_) {
+    FlowSnapshot s;
+    s.peer = f->peer;
+    s.target_prob_udt = f->target_prob;
+    if (const auto* td = dynamic_cast<const TDRatioLearner*>(f->prp.get())) {
+      s.epsilon = td->epsilon();
+    }
+    s.last_throughput_bps = f->last_throughput;
+    s.released_tcp = f->total_tcp;
+    s.released_udt = f->total_udt;
+    s.queued_messages = f->queue.size();
+    s.inflight_estimate = f->base_unacked + f->released_since_status;
+    s.episodes = f->episodes;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace kmsg::adaptive

@@ -1,0 +1,70 @@
+#include "adaptive/psp.hpp"
+
+namespace kmsg::adaptive {
+
+namespace {
+
+/// Emits the pattern (Q^b P)^p Q^tail where tail = extra_b + c.
+std::vector<messaging::Transport> emit_pattern(const RationalRatio& r,
+                                               std::uint32_t b,
+                                               std::uint32_t tail) {
+  std::vector<messaging::Transport> out;
+  out.reserve(r.p + r.q);
+  for (std::uint32_t i = 0; i < r.p; ++i) {
+    for (std::uint32_t j = 0; j < b; ++j) out.push_back(r.majority);
+    out.push_back(r.minority);
+  }
+  for (std::uint32_t j = 0; j < tail; ++j) out.push_back(r.majority);
+  return out;
+}
+
+}  // namespace
+
+std::vector<messaging::Transport> build_pattern(const RationalRatio& ratio) {
+  if (ratio.p == 0) {
+    // Pure majority stream.
+    return {ratio.majority};
+  }
+  const std::uint32_t p = ratio.p;
+  const std::uint32_t q = ratio.q;
+
+  // p-pattern: b = floor(q/p), rest c = q - p*b, layout (Q^b P)^p Q^c.
+  const std::uint32_t b1 = q / p;
+  const std::uint32_t c1 = q - p * b1;
+
+  // p+1-pattern: b = floor(q/(p+1)), rest c = q - (p+1)*b,
+  // layout (Q^b P)^p Q^b Q^c.
+  const std::uint32_t b2 = q / (p + 1);
+  const std::uint32_t c2 = q - (p + 1) * b2;
+
+  // Select the pattern with the smaller irregular rest (paper §IV-B4).
+  if (c2 < c1) {
+    return emit_pattern(ratio, b2, b2 + c2);
+  }
+  return emit_pattern(ratio, b1, c1);
+}
+
+void PatternSelection::set_ratio(double prob_udt) {
+  const RationalRatio r = prob_to_rational(prob_udt, denominator_);
+  pattern_ = build_pattern(r);
+  // Keep position modulo the new pattern so rapid ratio updates do not
+  // restart the interleaving from scratch every time.
+  pos_ = pattern_.empty() ? 0 : pos_ % pattern_.size();
+}
+
+messaging::Transport PatternSelection::next() {
+  const messaging::Transport t = pattern_[pos_];
+  pos_ = (pos_ + 1) % pattern_.size();
+  return t;
+}
+
+std::unique_ptr<ProtocolSelectionPolicy> make_psp(PspKind kind, Rng rng) {
+  switch (kind) {
+    case PspKind::kRandom: return std::make_unique<RandomSelection>(rng);
+    case PspKind::kPattern: return std::make_unique<PatternSelection>();
+    case PspKind::kSpread: return std::make_unique<SpreadPatternSelection>();
+  }
+  return nullptr;
+}
+
+}  // namespace kmsg::adaptive

@@ -1,0 +1,95 @@
+// Protocol Selection Policies (paper §IV-B): assign a concrete transport to
+// each individual DATA message so the emitted stream approaches the target
+// TCP/UDT ratio, ideally with small deviation over *short* subsequences too
+// (what the learner observes within an episode or on the wire).
+//
+//  - RandomSelection: Bernoulli trial per message (baseline; large
+//    short-sequence skew, Fig. 1);
+//  - PatternSelection: the paper's p-pattern / p+1-pattern interleavings,
+//    picking the variant with the smaller irregular tail;
+//  - SpreadPatternSelection: the "well spread" generalisation the paper
+//    sketches (§IV-B4) — a Bresenham-style error accumulator that distributes
+//    the minority protocol maximally evenly; implemented here as the
+//    future-work extension and compared in the ablation bench.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "adaptive/ratio.hpp"
+#include "common/rng.hpp"
+
+namespace kmsg::adaptive {
+
+class ProtocolSelectionPolicy {
+ public:
+  virtual ~ProtocolSelectionPolicy() = default;
+  /// Sets the target ratio as a UDT probability in [0, 1].
+  virtual void set_ratio(double prob_udt) = 0;
+  /// Selects the transport for the next message (kTcp or kUdt).
+  virtual messaging::Transport next() = 0;
+  virtual const char* name() const = 0;
+};
+
+class RandomSelection final : public ProtocolSelectionPolicy {
+ public:
+  explicit RandomSelection(Rng rng) : rng_(rng) {}
+  void set_ratio(double prob_udt) override { p_ = prob_udt; }
+  messaging::Transport next() override {
+    return rng_.next_bool(p_) ? messaging::Transport::kUdt
+                              : messaging::Transport::kTcp;
+  }
+  const char* name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+  double p_ = 0.5;
+};
+
+class PatternSelection final : public ProtocolSelectionPolicy {
+ public:
+  explicit PatternSelection(std::uint32_t denominator = 100)
+      : denominator_(denominator) {
+    set_ratio(0.5);
+  }
+  void set_ratio(double prob_udt) override;
+  messaging::Transport next() override;
+  const char* name() const override { return "pattern"; }
+
+  /// The full pattern currently in use (one complete period), for tests.
+  const std::vector<messaging::Transport>& pattern() const { return pattern_; }
+
+ private:
+  std::uint32_t denominator_;
+  std::vector<messaging::Transport> pattern_;
+  std::size_t pos_ = 0;
+};
+
+class SpreadPatternSelection final : public ProtocolSelectionPolicy {
+ public:
+  void set_ratio(double prob_udt) override { p_ = prob_udt; }
+  messaging::Transport next() override {
+    acc_ += p_;
+    if (acc_ >= 1.0 - 1e-12) {
+      acc_ -= 1.0;
+      return messaging::Transport::kUdt;
+    }
+    return messaging::Transport::kTcp;
+  }
+  const char* name() const override { return "spread"; }
+
+ private:
+  double p_ = 0.5;
+  double acc_ = 0.0;
+};
+
+enum class PspKind { kRandom, kPattern, kSpread };
+
+std::unique_ptr<ProtocolSelectionPolicy> make_psp(PspKind kind, Rng rng);
+
+/// Builds the paper's p-pattern (QᵇP)ᵖQᶜ and p+1-pattern (QᵇP)ᵖQᵇQᶜ for a
+/// rational ratio and returns whichever has the smaller rest c (§IV-B4).
+/// Exposed for direct testing of the pattern math.
+std::vector<messaging::Transport> build_pattern(const RationalRatio& ratio);
+
+}  // namespace kmsg::adaptive

@@ -1,0 +1,51 @@
+#include "adaptive/ratio.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kmsg::adaptive {
+
+int RatioGrid::signed_to_state(double r) const {
+  const double t = (r + 1.0) / kappa();
+  int i = static_cast<int>(std::lround(t));
+  return std::clamp(i, 0, n_states - 1);
+}
+
+std::uint32_t gcd_u32(std::uint32_t a, std::uint32_t b) {
+  while (b != 0) {
+    const std::uint32_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+RationalRatio prob_to_rational(double prob_udt, std::uint32_t denominator) {
+  prob_udt = std::clamp(prob_udt, 0.0, 1.0);
+  const auto udt_count = static_cast<std::uint32_t>(
+      std::lround(prob_udt * static_cast<double>(denominator)));
+  const std::uint32_t tcp_count = denominator - udt_count;
+
+  RationalRatio r;
+  if (udt_count <= tcp_count) {
+    r.minority = messaging::Transport::kUdt;
+    r.majority = messaging::Transport::kTcp;
+    r.p = udt_count;
+    r.q = tcp_count;
+  } else {
+    r.minority = messaging::Transport::kTcp;
+    r.majority = messaging::Transport::kUdt;
+    r.p = tcp_count;
+    r.q = udt_count;
+  }
+  if (r.p == 0) {
+    r.q = 1;  // pure stream: canonical form 0/1
+    return r;
+  }
+  const std::uint32_t g = gcd_u32(r.p, r.q);
+  r.p /= g;
+  r.q /= g;
+  return r;
+}
+
+}  // namespace kmsg::adaptive

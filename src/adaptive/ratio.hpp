@@ -1,0 +1,63 @@
+// Protocol-ratio representations and conversions (paper §IV-B).
+//
+// The target TCP/UDT ratio r appears in three interchangeable forms:
+//   signed  r ∈ [-1, 1]:  -1 = 100% TCP, 0 = 50-50, +1 = 100% UDT
+//                          (the form used for analysis and the learner's
+//                          state axis);
+//   prob    r ∈ [0, 1]:    probability of picking UDT;
+//   rational p/q:          p minority-protocol messages for every q
+//                          majority-protocol messages (the form pattern
+//                          selection needs).
+// Plus the κ-discretisation that maps the signed axis onto learner states.
+#pragma once
+
+#include <cstdint>
+
+#include "messaging/transport.hpp"
+
+namespace kmsg::adaptive {
+
+constexpr double signed_to_prob(double r) { return (r + 1.0) / 2.0; }
+constexpr double prob_to_signed(double p) { return 2.0 * p - 1.0; }
+
+/// Discretisation with 2/κ + 1 states over the signed axis; κ = 1/5 gives
+/// the paper's 11 states {-1, -4/5, ..., 4/5, 1}.
+struct RatioGrid {
+  int n_states;  // must be odd and >= 3
+
+  explicit constexpr RatioGrid(int states = 11) : n_states(states) {}
+
+  constexpr double kappa() const { return 2.0 / (n_states - 1); }
+  constexpr double state_to_signed(int i) const { return -1.0 + kappa() * i; }
+  constexpr double state_to_prob(int i) const {
+    return signed_to_prob(state_to_signed(i));
+  }
+  int signed_to_state(double r) const;
+  int prob_to_state(double p) const { return signed_to_state(prob_to_signed(p)); }
+};
+
+/// Rational form: `p` messages of `minority` for every `q` of `majority`
+/// (prob(minority) = p / (p+q)). Pure ratios have p == 0.
+struct RationalRatio {
+  std::uint32_t p = 0;
+  std::uint32_t q = 1;
+  messaging::Transport minority = messaging::Transport::kUdt;
+  messaging::Transport majority = messaging::Transport::kTcp;
+
+  double minority_fraction() const {
+    return static_cast<double>(p) / static_cast<double>(p + q);
+  }
+  double prob_udt() const {
+    const double f = minority_fraction();
+    return minority == messaging::Transport::kUdt ? f : 1.0 - f;
+  }
+};
+
+/// Converts a UDT probability to the reduced rational form, quantising the
+/// probability onto a denominator grid (default 100, ample for the κ = 1/5
+/// learner grid and for the paper's r = 3/100 example).
+RationalRatio prob_to_rational(double prob_udt, std::uint32_t denominator = 100);
+
+std::uint32_t gcd_u32(std::uint32_t a, std::uint32_t b);
+
+}  // namespace kmsg::adaptive

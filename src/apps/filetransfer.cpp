@@ -1,0 +1,126 @@
+#include "apps/filetransfer.hpp"
+
+#include "common/logging.hpp"
+
+namespace kmsg::apps {
+
+using messaging::DataHeader;
+using messaging::MessageNotifyReq;
+using messaging::MessageNotifyResp;
+using messaging::Transport;
+
+void DataSource::setup() {
+  net_ = &require<messaging::Network>();
+  subscribe<kompics::Start>(control(),
+                            [this](const kompics::Start&) { start_transfer(); });
+  subscribe<MessageNotifyResp>(*net_, [this](const MessageNotifyResp& resp) {
+    auto it = pending_notifies_.find(resp.id);
+    if (it == pending_notifies_.end()) return;
+    pending_notifies_.erase(it);
+    --inflight_;
+    if (resp.status == messaging::DeliveryStatus::kSent) {
+      bytes_accepted_ += resp.bytes;
+    } else {
+      KMSG_WARN("data-source") << "chunk send failed via " << to_string(resp.via);
+    }
+    pump();
+  });
+  subscribe<TransferCompleteMsg>(*net_, [this](const TransferCompleteMsg& done) {
+    if (done.transfer_id() != config_.transfer_id || finished_) return;
+    finished_ = true;
+    finished_at_ = clock().now();
+    if (on_complete_) {
+      on_complete_(finished_at_ - started_at_, done.total_bytes());
+    }
+  });
+}
+
+void DataSource::start_transfer() {
+  started_at_ = clock().now();
+  pump();
+}
+
+Duration DataSource::elapsed() const {
+  return (finished_ ? finished_at_ : clock().now()) - started_at_;
+}
+
+void DataSource::pump() {
+  while (!sent_all_ && inflight_ < config_.window_chunks) {
+    send_chunk();
+  }
+}
+
+void DataSource::send_chunk() {
+  std::size_t len = config_.chunk_bytes;
+  bool last = false;
+  if (config_.total_bytes > 0) {
+    const std::uint64_t remaining = config_.total_bytes - next_offset_;
+    len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(len, remaining));
+    last = (remaining == len);
+  }
+  DataHeader header = (config_.protocol == Transport::kData)
+                          ? DataHeader{config_.self, config_.dst}
+                          : DataHeader{config_.self, config_.dst, config_.protocol};
+  auto msg = std::make_shared<const DataChunkMsg>(
+      header, config_.transfer_id, next_offset_, make_payload(next_offset_, len),
+      last);
+  next_offset_ += len;
+  if (last) sent_all_ = true;
+
+  const auto id = messaging::next_notify_id();
+  pending_notifies_.insert(id);
+  ++inflight_;
+  trigger(kompics::make_event<MessageNotifyReq>(std::move(msg), id), *net_);
+}
+
+void DataSink::setup() {
+  net_ = &require<messaging::Network>();
+  subscribe<DataChunkMsg>(*net_,
+                          [this](const DataChunkMsg& c) { handle_chunk(c); });
+}
+
+void DataSink::handle_chunk(const DataChunkMsg& chunk) {
+  ++chunks_;
+  bytes_received_ += chunk.bytes().size();
+  const auto proto = chunk.header().protocol();
+  ++via_[static_cast<std::size_t>(proto)];
+  if (config_.verify_payload && !verify_payload(chunk.offset(), chunk.bytes())) {
+    ++corrupt_;
+    KMSG_ERROR("data-sink") << "payload corruption at offset " << chunk.offset();
+  }
+
+  auto& received = per_transfer_bytes_[chunk.transfer_id()];
+  received += chunk.bytes().size();
+  if (chunk.last()) {
+    expected_total_[chunk.transfer_id()] = chunk.offset() + chunk.bytes().size();
+  }
+  auto it = expected_total_.find(chunk.transfer_id());
+  if (it != expected_total_.end() && received >= it->second &&
+      completed_transfers_.insert(chunk.transfer_id()).second) {
+    // All bytes arrived (chunks may interleave across protocols, so the
+    // last-flagged chunk is not necessarily the final arrival).
+    messaging::BasicHeader h{config_.self, chunk.header().source(),
+                             Transport::kTcp};
+    trigger(kompics::make_event<TransferCompleteMsg>(h, chunk.transfer_id(),
+                                                     received),
+            *net_);
+  }
+}
+
+std::uint64_t DataSink::take_interval_bytes() {
+  const std::uint64_t delta = bytes_received_ - interval_bytes_mark_;
+  interval_bytes_mark_ = bytes_received_;
+  return delta;
+}
+
+std::pair<std::uint64_t, std::uint64_t> DataSink::take_interval_chunks() {
+  const std::uint64_t tcp = via_[static_cast<std::size_t>(Transport::kTcp)];
+  const std::uint64_t udt = via_[static_cast<std::size_t>(Transport::kUdt)];
+  const auto out = std::make_pair(tcp - interval_tcp_mark_, udt - interval_udt_mark_);
+  interval_tcp_mark_ = tcp;
+  interval_udt_mark_ = udt;
+  return out;
+}
+
+}  // namespace kmsg::apps

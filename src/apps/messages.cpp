@@ -1,0 +1,95 @@
+#include "apps/messages.hpp"
+
+namespace kmsg::apps {
+
+namespace {
+
+std::uint8_t payload_byte(std::uint64_t pos) {
+  // splitmix64-style position hash: incompressible to LZ-class codecs,
+  // verifiable from the position alone.
+  std::uint64_t z = pos + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::uint8_t>(z >> 56);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> make_payload(std::uint64_t offset, std::size_t len) {
+  std::vector<std::uint8_t> out(len);
+  for (std::size_t i = 0; i < len; ++i) out[i] = payload_byte(offset + i);
+  return out;
+}
+
+bool verify_payload(std::uint64_t offset, const std::vector<std::uint8_t>& data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] != payload_byte(offset + i)) return false;
+  }
+  return true;
+}
+
+void register_app_serializers(messaging::SerializerRegistry& registry) {
+  using messaging::BasicHeader;
+  using messaging::DataHeader;
+  using messaging::MsgPtr;
+
+  registry.register_type(
+      kDataChunkTypeId,
+      [](const messaging::Msg& m, wire::ByteBuf& buf) {
+        const auto& c = dynamic_cast<const DataChunkMsg&>(m);
+        buf.write_varint(c.transfer_id());
+        buf.write_varint(c.offset());
+        buf.write_bool(c.last());
+        buf.write_blob(c.bytes());
+      },
+      [](const BasicHeader& h, wire::ByteBuf& buf) -> MsgPtr {
+        const std::uint64_t id = buf.read_varint();
+        const std::uint64_t offset = buf.read_varint();
+        const bool last = buf.read_bool();
+        auto bytes = buf.read_blob();
+        DataHeader dh{h.source(), h.destination(), h.protocol()};
+        return std::make_shared<const DataChunkMsg>(dh, id, offset,
+                                                    std::move(bytes), last);
+      });
+
+  registry.register_type(
+      kTransferCompleteTypeId,
+      [](const messaging::Msg& m, wire::ByteBuf& buf) {
+        const auto& c = dynamic_cast<const TransferCompleteMsg&>(m);
+        buf.write_varint(c.transfer_id());
+        buf.write_varint(c.total_bytes());
+      },
+      [](const BasicHeader& h, wire::ByteBuf& buf) -> MsgPtr {
+        const std::uint64_t id = buf.read_varint();
+        const std::uint64_t total = buf.read_varint();
+        return std::make_shared<const TransferCompleteMsg>(h, id, total);
+      });
+
+  registry.register_type(
+      kPingTypeId,
+      [](const messaging::Msg& m, wire::ByteBuf& buf) {
+        const auto& p = dynamic_cast<const PingMsg&>(m);
+        buf.write_varint(p.seq());
+        buf.write_i64(p.sent_at_nanos());
+      },
+      [](const BasicHeader& h, wire::ByteBuf& buf) -> MsgPtr {
+        const std::uint64_t seq = buf.read_varint();
+        const std::int64_t at = buf.read_i64();
+        return std::make_shared<const PingMsg>(h, seq, at);
+      });
+
+  registry.register_type(
+      kPongTypeId,
+      [](const messaging::Msg& m, wire::ByteBuf& buf) {
+        const auto& p = dynamic_cast<const PongMsg&>(m);
+        buf.write_varint(p.seq());
+        buf.write_i64(p.echo_sent_at_nanos());
+      },
+      [](const BasicHeader& h, wire::ByteBuf& buf) -> MsgPtr {
+        const std::uint64_t seq = buf.read_varint();
+        const std::int64_t at = buf.read_i64();
+        return std::make_shared<const PongMsg>(h, seq, at);
+      });
+}
+
+}  // namespace kmsg::apps

@@ -1,0 +1,122 @@
+// Concrete message types used by the experiment applications (and the
+// examples): bulk data chunks (DATA-capable), transfer completion receipts,
+// and ping/pong latency probes — the two workload families of the paper's
+// evaluation (§V-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "messaging/msg.hpp"
+#include "messaging/serialization.hpp"
+
+namespace kmsg::apps {
+
+// Serializer type ids.
+inline constexpr std::uint32_t kDataChunkTypeId = 0x10;
+inline constexpr std::uint32_t kTransferCompleteTypeId = 0x11;
+inline constexpr std::uint32_t kPingTypeId = 0x20;
+inline constexpr std::uint32_t kPongTypeId = 0x21;
+
+/// One 65 kB-class slice of a bulk transfer. Implements DataMsg so the
+/// adaptive interceptor can resolve Transport::DATA per message.
+class DataChunkMsg final : public messaging::Msg, public messaging::DataMsg {
+ public:
+  DataChunkMsg(messaging::DataHeader header, std::uint64_t transfer_id,
+               std::uint64_t offset, std::vector<std::uint8_t> bytes, bool last)
+      : header_(header),
+        transfer_id_(transfer_id),
+        offset_(offset),
+        bytes_(std::move(bytes)),
+        last_(last) {}
+
+  const messaging::Header& header() const override { return header_; }
+  std::uint32_t type_id() const override { return kDataChunkTypeId; }
+
+  messaging::MsgPtr with_protocol(messaging::Transport t) const override {
+    return std::make_shared<const DataChunkMsg>(header_.with_protocol(t),
+                                                transfer_id_, offset_, bytes_,
+                                                last_);
+  }
+  std::size_t payload_size() const override { return bytes_.size(); }
+
+  const messaging::DataHeader& data_header() const { return header_; }
+  std::uint64_t transfer_id() const { return transfer_id_; }
+  std::uint64_t offset() const { return offset_; }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  bool last() const { return last_; }
+
+ private:
+  messaging::DataHeader header_;
+  std::uint64_t transfer_id_;
+  std::uint64_t offset_;
+  std::vector<std::uint8_t> bytes_;
+  bool last_;
+};
+
+/// Receiver -> sender receipt closing one transfer (sent over TCP).
+class TransferCompleteMsg final : public messaging::Msg {
+ public:
+  TransferCompleteMsg(messaging::BasicHeader header, std::uint64_t transfer_id,
+                      std::uint64_t total_bytes)
+      : header_(header), transfer_id_(transfer_id), total_bytes_(total_bytes) {}
+
+  const messaging::Header& header() const override { return header_; }
+  std::uint32_t type_id() const override { return kTransferCompleteTypeId; }
+
+  std::uint64_t transfer_id() const { return transfer_id_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  messaging::BasicHeader header_;
+  std::uint64_t transfer_id_;
+  std::uint64_t total_bytes_;
+};
+
+/// Timing-sensitive control probe ("Ping"), answered by PongMsg.
+class PingMsg final : public messaging::Msg {
+ public:
+  PingMsg(messaging::BasicHeader header, std::uint64_t seq,
+          std::int64_t sent_at_nanos)
+      : header_(header), seq_(seq), sent_at_nanos_(sent_at_nanos) {}
+
+  const messaging::Header& header() const override { return header_; }
+  std::uint32_t type_id() const override { return kPingTypeId; }
+
+  std::uint64_t seq() const { return seq_; }
+  std::int64_t sent_at_nanos() const { return sent_at_nanos_; }
+
+ private:
+  messaging::BasicHeader header_;
+  std::uint64_t seq_;
+  std::int64_t sent_at_nanos_;
+};
+
+class PongMsg final : public messaging::Msg {
+ public:
+  PongMsg(messaging::BasicHeader header, std::uint64_t seq,
+          std::int64_t echo_sent_at_nanos)
+      : header_(header), seq_(seq), echo_sent_at_nanos_(echo_sent_at_nanos) {}
+
+  const messaging::Header& header() const override { return header_; }
+  std::uint32_t type_id() const override { return kPongTypeId; }
+
+  std::uint64_t seq() const { return seq_; }
+  std::int64_t echo_sent_at_nanos() const { return echo_sent_at_nanos_; }
+
+ private:
+  messaging::BasicHeader header_;
+  std::uint64_t seq_;
+  std::int64_t echo_sent_at_nanos_;
+};
+
+/// Registers serializers for all app message types.
+void register_app_serializers(messaging::SerializerRegistry& registry);
+
+/// Deterministic, effectively incompressible payload: byte i of a chunk at
+/// absolute `offset` depends only on the global position, so any receiver
+/// can verify content without sharing state with the sender.
+std::vector<std::uint8_t> make_payload(std::uint64_t offset, std::size_t len);
+bool verify_payload(std::uint64_t offset, const std::vector<std::uint8_t>& data);
+
+}  // namespace kmsg::apps

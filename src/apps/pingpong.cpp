@@ -1,0 +1,53 @@
+#include "apps/pingpong.hpp"
+
+namespace kmsg::apps {
+
+using messaging::BasicHeader;
+using messaging::Transport;
+
+void Pinger::setup() {
+  net_ = &require<messaging::Network>();
+  timer_ = &require<kompics::Timer>();
+  timeout_id_ = kompics::next_timeout_id();
+
+  subscribe<kompics::Start>(control(), [this](const kompics::Start&) {
+    trigger(kompics::make_event<kompics::SchedulePeriodic>(
+                timeout_id_, config_.interval, config_.interval),
+            *timer_);
+  });
+  subscribe<kompics::Timeout>(*timer_, [this](const kompics::Timeout& t) {
+    if (t.id != timeout_id_) return;
+    if (config_.max_pings != 0 && sent_ >= config_.max_pings) {
+      trigger(kompics::make_event<kompics::CancelTimeout>(timeout_id_), *timer_);
+      return;
+    }
+    send_ping();
+  });
+  subscribe<PongMsg>(*net_, [this](const PongMsg& pong) {
+    ++received_;
+    const Duration rtt =
+        clock().now() - TimePoint::from_nanos(pong.echo_sent_at_nanos());
+    rtts_.add(rtt.as_millis());
+  });
+}
+
+void Pinger::send_ping() {
+  ++sent_;
+  BasicHeader h{config_.self, config_.dst, config_.protocol};
+  trigger(kompics::make_event<PingMsg>(h, sent_, clock().now().as_nanos()),
+          *net_);
+}
+
+void Ponger::setup() {
+  net_ = &require<messaging::Network>();
+  subscribe<PingMsg>(*net_, [this](const PingMsg& ping) {
+    ++pongs_;
+    // Echo over the protocol the ping used (paper: pongs mirror pings).
+    BasicHeader h{config_.self, ping.header().source(),
+                  ping.header().protocol()};
+    trigger(kompics::make_event<PongMsg>(h, ping.seq(), ping.sent_at_nanos()),
+            *net_);
+  });
+}
+
+}  // namespace kmsg::apps

@@ -1,0 +1,69 @@
+// Ping/pong latency probes (paper §V-A item 2): a Pinger sends timing
+// probes at a fixed cadence through the Kompics Timer facility and records
+// round-trip times; a Ponger echoes them back over the protocol the ping
+// arrived with. Used with and without parallel bulk transfer to reproduce
+// the control-message latency experiment (Fig. 8).
+#pragma once
+
+#include "apps/messages.hpp"
+#include "common/stats.hpp"
+#include "kompics/system.hpp"
+#include "kompics/timer.hpp"
+#include "messaging/network_port.hpp"
+
+namespace kmsg::apps {
+
+struct PingerConfig {
+  messaging::Address self;
+  messaging::Address dst;
+  messaging::Transport protocol = messaging::Transport::kTcp;
+  Duration interval = Duration::millis(100);
+  /// 0 = ping until stopped.
+  std::uint64_t max_pings = 0;
+};
+
+class Pinger final : public kompics::ComponentDefinition {
+ public:
+  explicit Pinger(PingerConfig config) : config_(config) {}
+
+  void setup() override;
+
+  kompics::PortInstance& network() { return *net_; }
+  kompics::PortInstance& timer() { return *timer_; }
+
+  const SampleSet& rtts_ms() const { return rtts_; }
+  std::uint64_t pings_sent() const { return sent_; }
+  std::uint64_t pongs_received() const { return received_; }
+
+ private:
+  void send_ping();
+
+  PingerConfig config_;
+  kompics::PortInstance* net_ = nullptr;
+  kompics::PortInstance* timer_ = nullptr;
+  kompics::TimeoutId timeout_id_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  SampleSet rtts_;
+};
+
+struct PongerConfig {
+  messaging::Address self;
+};
+
+class Ponger final : public kompics::ComponentDefinition {
+ public:
+  explicit Ponger(PongerConfig config) : config_(config) {}
+
+  void setup() override;
+
+  kompics::PortInstance& network() { return *net_; }
+  std::uint64_t pongs_sent() const { return pongs_; }
+
+ private:
+  PongerConfig config_;
+  kompics::PortInstance* net_ = nullptr;
+  std::uint64_t pongs_ = 0;
+};
+
+}  // namespace kmsg::apps

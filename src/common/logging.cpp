@@ -1,0 +1,59 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include "common/time.hpp"
+
+#include <chrono>
+
+namespace kmsg {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_write_mutex;
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+LogLevel Logger::level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void Logger::set_level(LogLevel lvl) { g_level.store(static_cast<int>(lvl), std::memory_order_relaxed); }
+
+void Logger::write(LogLevel lvl, std::string_view component, std::string_view msg) {
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(lvl),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+TimePoint SteadyClock::now() const {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+  return TimePoint::from_nanos(ns);
+}
+
+std::string to_string(Duration d) {
+  char buf[64];
+  const double ns = static_cast<double>(d.as_nanos());
+  if (ns < 1e3) std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  else if (ns < 1e6) std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  else if (ns < 1e9) std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  else std::snprintf(buf, sizeof(buf), "%.3fs", ns / 1e9);
+  return buf;
+}
+
+std::string to_string(TimePoint t) { return to_string(t - TimePoint::zero()); }
+
+}  // namespace kmsg

@@ -1,0 +1,53 @@
+// Minimal leveled logging.
+//
+// Deliberately tiny: a global level, printf-free streaming into stderr, and a
+// compile-away TRACE level. Library code logs sparingly (protocol engines log
+// only at DEBUG/TRACE) so experiments stay quiet by default.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace kmsg {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+  static void write(LogLevel lvl, std::string_view component, std::string_view msg);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel lvl, std::string_view component) : lvl_(lvl), component_(component) {}
+  ~LogLine() { Logger::write(lvl_, component_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::string_view component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define KMSG_LOG(lvl, component)                      \
+  if (!::kmsg::Logger::enabled(lvl)) {                \
+  } else                                              \
+    ::kmsg::detail::LogLine(lvl, component)
+
+#define KMSG_TRACE(component) KMSG_LOG(::kmsg::LogLevel::kTrace, component)
+#define KMSG_DEBUG(component) KMSG_LOG(::kmsg::LogLevel::kDebug, component)
+#define KMSG_INFO(component) KMSG_LOG(::kmsg::LogLevel::kInfo, component)
+#define KMSG_WARN(component) KMSG_LOG(::kmsg::LogLevel::kWarn, component)
+#define KMSG_ERROR(component) KMSG_LOG(::kmsg::LogLevel::kError, component)
+
+}  // namespace kmsg

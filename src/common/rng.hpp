@@ -1,0 +1,97 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the system (packet loss, Bernoulli protocol
+// selection, ε-greedy exploration, payload generation) draws from an
+// explicitly seeded generator so that experiments and tests are exactly
+// reproducible. We use xoshiro256** (public domain, Blackman & Vigna) seeded
+// through splitmix64, which is both faster and statistically stronger than
+// std::mt19937_64 while keeping the state small enough to copy freely.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace kmsg {
+
+/// splitmix64: used to expand a single seed into generator state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic generator. Satisfies
+/// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x1db5c1edULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  constexpr std::uint64_t operator()() { return next(); }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// nearly-divisionless method's simple variant; bias is negligible for the
+  /// bounds used here but we debias with rejection anyway.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection sampling over the largest multiple of bound.
+    const std::uint64_t threshold = (0ULL - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  constexpr bool next_bool(double p) { return next_double() < p; }
+
+  /// Standard normal via Box-Muller (single-draw form; adequate here).
+  double next_gaussian() {
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 <= 0.0) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Derives an independent child generator; lets subsystems own private
+  /// streams that do not perturb each other's sequences.
+  constexpr Rng split() { return Rng(next() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace kmsg

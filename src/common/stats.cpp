@@ -1,0 +1,127 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace kmsg {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::clear() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::rse() const {
+  if (mean_ == 0.0) return std::numeric_limits<double>::infinity();
+  return stderr_mean() / std::abs(mean_);
+}
+
+double RunningStats::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return t_quantile_975(n_ - 1) * stderr_mean();
+}
+
+double SampleSet::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  return xs_.empty() ? 0.0 : xs_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  return xs_.empty() ? 0.0 : xs_.back();
+}
+
+double SampleSet::stddev() const {
+  if (xs_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : xs_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs_.size() - 1));
+}
+
+double SampleSet::percentile(double p) const {
+  if (xs_.empty()) return 0.0;
+  ensure_sorted();
+  if (p <= 0.0) return xs_.front();
+  if (p >= 100.0) return xs_.back();
+  const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs_.size()) return xs_.back();
+  return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram requires bins > 0 and hi > lo");
+  }
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto i = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
+  i = std::clamp<std::int64_t>(i, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+double t_quantile_975(std::size_t df) {
+  // Table of two-sided 95% Student t critical values; beyond 30 d.o.f. the
+  // normal approximation is within ~1.5%.
+  static constexpr double table[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return table[df];
+  if (df <= 60) return 2.000;
+  if (df <= 120) return 1.980;
+  return 1.960;
+}
+
+}  // namespace kmsg

@@ -1,0 +1,90 @@
+// Statistics utilities used by the experiment harness and the learner.
+//
+// The paper's evaluation methodology (§V) repeats runs "until the relative
+// standard error (RSE) dropped below 10% of the sample mean" and reports 95%
+// confidence intervals; RunningStats implements exactly those quantities.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kmsg {
+
+/// Numerically stable (Welford) single-pass mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void clear();
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double stderr_mean() const;
+  /// Relative standard error: stderr / |mean|. Infinity if mean is 0.
+  double rse() const;
+  /// Half-width of the 95% confidence interval for the mean, using Student's
+  /// t quantiles for small n and the normal approximation beyond.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Retains all samples; supports order statistics. Used for the RTT
+/// percentile reporting in the latency experiments (Fig. 8) and the ratio
+/// distribution boxes of Fig. 1.
+class SampleSet {
+ public:
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+  void clear() { xs_.clear(); sorted_ = false; }
+  std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  const std::vector<double>& samples() const { return xs_; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the edge
+/// bins. Used for ratio-distribution reporting.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_[i]; }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_center(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Student's t 97.5% quantile for `df` degrees of freedom (two-sided 95% CI).
+double t_quantile_975(std::size_t df);
+
+}  // namespace kmsg

@@ -1,0 +1,111 @@
+// Simulation / wall-clock time primitives.
+//
+// All of kompicsmessaging uses a single time representation: nanoseconds in a
+// signed 64-bit strong type, `Duration` for spans and `TimePoint` for
+// instants. The strong types keep simulated time from silently mixing with
+// wall-clock time or raw integers, while staying trivially copyable and cheap.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace kmsg {
+
+/// A span of time with nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr static Duration nanos(std::int64_t n) { return Duration{n}; }
+  constexpr static Duration micros(std::int64_t u) { return Duration{u * 1000}; }
+  constexpr static Duration millis(std::int64_t m) { return Duration{m * 1'000'000}; }
+  constexpr static Duration seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9)};
+  }
+  constexpr static Duration zero() { return Duration{0}; }
+  constexpr static Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t as_nanos() const { return ns_; }
+  constexpr double as_micros() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double as_millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double as_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  /// Scaling by a real factor (named to avoid int/double overload ambiguity).
+  constexpr Duration scaled(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) * k)};
+  }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An instant, measured in nanoseconds from an epoch (simulation start for
+/// simulated clocks, an arbitrary steady-clock origin for wall clocks).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr static TimePoint from_nanos(std::int64_t n) { return TimePoint{n}; }
+  constexpr static TimePoint zero() { return TimePoint{0}; }
+  constexpr static TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t as_nanos() const { return ns_; }
+  constexpr double as_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double as_millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint{ns_ + d.as_nanos()};
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint{ns_ - d.as_nanos()};
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::nanos(ns_ - o.ns_);
+  }
+  constexpr TimePoint& operator+=(Duration d) {
+    ns_ += d.as_nanos();
+    return *this;
+  }
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// Source of "now". The simulator provides one; wall-clock runtimes provide
+/// another. Components only ever see this interface.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint now() const = 0;
+};
+
+/// Clock backed by std::chrono::steady_clock, for real-time deployments.
+class SteadyClock final : public Clock {
+ public:
+  TimePoint now() const override;
+};
+
+/// Formats a duration with an adaptive unit, e.g. "12.3ms".
+std::string to_string(Duration d);
+std::string to_string(TimePoint t);
+
+}  // namespace kmsg

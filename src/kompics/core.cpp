@@ -1,0 +1,192 @@
+#include "kompics/core.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+#include "kompics/system.hpp"
+
+namespace kmsg::kompics {
+
+// --- PortInstance ---
+
+PortInstance::PortInstance(ComponentCore* owner, const PortType& type,
+                           bool provided)
+    : owner_(owner), type_(type), provided_(provided) {}
+
+void PortInstance::subscribe(std::unique_ptr<HandlerBase> handler) {
+  handlers_.push_back(std::move(handler));
+}
+
+void PortInstance::publish(const EventPtr& ev) {
+  // Broadcast to all connected channels; iteration over a copy keeps the
+  // loop safe if a handler connects/disconnects channels reentrantly.
+  const auto channels = channels_;
+  for (Channel* ch : channels) {
+    if (provided_) {
+      ch->forward_indication(ev);
+    } else {
+      ch->forward_request(ev);
+    }
+  }
+}
+
+void PortInstance::deliver(const EventPtr& ev) { owner_->enqueue(this, ev); }
+
+void PortInstance::dispatch(const EventPtr& ev) {
+  bool handled = false;
+  for (auto& h : handlers_) {
+    handled |= h->try_handle(ev);
+  }
+  // Unhandled events are silently dropped — with the broadcast channel model
+  // it is often completely correct to ignore events (paper §II-A).
+  if (!handled) ++dropped_;
+}
+
+void PortInstance::detach(Channel* ch) {
+  channels_.erase(std::remove(channels_.begin(), channels_.end(), ch),
+                  channels_.end());
+}
+
+// --- Channel ---
+
+Channel::Channel(PortInstance* provided_side, PortInstance* required_side)
+    : provided_side_(provided_side), required_side_(required_side) {
+  provided_side_->attach(this);
+  required_side_->attach(this);
+}
+
+Channel::~Channel() { disconnect(); }
+
+void Channel::forward_indication(const EventPtr& ev) {
+  if (required_side_ == nullptr) return;
+  if (ind_sel_ && !ind_sel_(*ev)) return;
+  required_side_->deliver(ev);
+}
+
+void Channel::forward_request(const EventPtr& ev) {
+  if (provided_side_ == nullptr) return;
+  if (req_sel_ && !req_sel_(*ev)) return;
+  provided_side_->deliver(ev);
+}
+
+void Channel::disconnect() {
+  if (provided_side_ != nullptr) provided_side_->detach(this);
+  if (required_side_ != nullptr) required_side_->detach(this);
+  provided_side_ = nullptr;
+  required_side_ = nullptr;
+}
+
+// --- ComponentDefinition ---
+
+const std::string& ComponentDefinition::name() const { return core_->name(); }
+
+PortInstance& ComponentDefinition::control() { return core_->control_port(); }
+
+void ComponentDefinition::trigger(EventPtr ev, PortInstance& port) {
+  if (port.owner() != core_) {
+    throw std::logic_error("trigger: port does not belong to this component");
+  }
+  if (port.provided()) {
+    if (!port.type().allows_indication(*ev)) {
+      throw std::logic_error("trigger: event is not an indication of port type " +
+                             port.type().name());
+    }
+  } else {
+    if (!port.type().allows_request(*ev)) {
+      throw std::logic_error("trigger: event is not a request of port type " +
+                             port.type().name());
+    }
+  }
+  port.publish(ev);
+}
+
+KompicsSystem& ComponentDefinition::system() { return core_->system(); }
+
+const Clock& ComponentDefinition::clock() const {
+  return core_->system().clock();
+}
+
+// --- ComponentCore ---
+
+ComponentCore::ComponentCore(KompicsSystem& system, std::string name)
+    : system_(system), name_(std::move(name)) {
+  control_ = &port(port_type<ControlPort>(), true);
+}
+
+ComponentCore::~ComponentCore() = default;
+
+void ComponentCore::adopt(std::unique_ptr<ComponentDefinition> def) {
+  assert(!definition_);
+  definition_ = std::move(def);
+  definition_->core_ = this;
+}
+
+PortInstance& ComponentCore::port(const PortType& type, bool provided) {
+  const auto key = std::make_pair(&type, provided);
+  if (auto it = port_index_.find(key); it != port_index_.end()) {
+    return *it->second;
+  }
+  ports_.push_back(std::make_unique<PortInstance>(this, type, provided));
+  PortInstance* p = ports_.back().get();
+  port_index_.emplace(key, p);
+  return *p;
+}
+
+void ComponentCore::enqueue(PortInstance* at, EventPtr ev) {
+  bool need_schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.emplace_back(at, std::move(ev));
+    if (!scheduled_) {
+      scheduled_ = true;
+      need_schedule = true;
+    }
+  }
+  if (need_schedule) system_.scheduler().schedule(this);
+}
+
+std::size_t ComponentCore::queued_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ComponentCore::execute() {
+  const std::size_t max_events = system_.max_events_per_scheduling();
+  for (std::size_t i = 0; i < max_events; ++i) {
+    std::pair<PortInstance*, EventPtr> item;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) break;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    ++events_handled_;
+    item.first->dispatch(item.second);
+    // Lifecycle cascade: Start/Stop/Kill on the control port propagate down
+    // the component hierarchy after the local handlers ran.
+    if (item.first == control_ && !children_.empty()) {
+      const auto& ev = *item.second;
+      if (dynamic_cast<const Start*>(&ev) != nullptr ||
+          dynamic_cast<const Stop*>(&ev) != nullptr ||
+          dynamic_cast<const Kill*>(&ev) != nullptr) {
+        for (ComponentCore* child : children_) {
+          child->enqueue(&child->control_port(), item.second);
+        }
+      }
+    }
+  }
+  bool reschedule = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) {
+      scheduled_ = false;
+    } else {
+      reschedule = true;  // back of the scheduler's FIFO: fairness
+    }
+  }
+  if (reschedule) system_.scheduler().schedule(this);
+}
+
+}  // namespace kmsg::kompics

@@ -1,0 +1,288 @@
+// The Kompics component core: ports, channels, handlers, components.
+//
+// Semantics implemented here (paper §II-A):
+//  - components declare *provided* and *required* ports of declared types;
+//  - events are not addressed: triggering publishes on all channels connected
+//    to the port (broadcast), and receivers decide what to handle by
+//    subscribing handlers — unmatched events are silently dropped;
+//  - handler matching follows the event type hierarchy (subtypes match);
+//  - channels deliver FIFO, exactly-once per receiver;
+//  - a component executes on at most one thread at a time, handling up to a
+//    configurable number of queued events per scheduling (the
+//    throughput-vs-fairness knob the paper describes);
+//  - indications flow provided -> required, requests flow required ->
+//    provided, validated at trigger time against the port type.
+//
+// Deviation from the Java API: `requires` is a C++20 keyword, so the
+// required-port declaration is spelled `require<P>()`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "kompics/event.hpp"
+#include "kompics/port_type.hpp"
+
+namespace kmsg::kompics {
+
+class ComponentCore;
+class Channel;
+class KompicsSystem;
+class PortInstance;
+
+// --- Handlers ---
+
+class HandlerBase {
+ public:
+  virtual ~HandlerBase() = default;
+  /// Invokes the handler if the event's dynamic type matches. Returns
+  /// whether it matched.
+  virtual bool try_handle(const EventPtr& ev) = 0;
+};
+
+template <typename E>
+class TypedHandler final : public HandlerBase {
+ public:
+  explicit TypedHandler(std::function<void(const E&)> fn) : fn_(std::move(fn)) {}
+  bool try_handle(const EventPtr& ev) override {
+    if (const auto* e = dynamic_cast<const E*>(ev.get())) {
+      fn_(*e);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::function<void(const E&)> fn_;
+};
+
+/// Handler variant that receives the shared event pointer, for components
+/// that store or forward events without copying (e.g. the network layer
+/// queueing messages).
+template <typename E>
+class PtrHandler final : public HandlerBase {
+ public:
+  explicit PtrHandler(std::function<void(std::shared_ptr<const E>)> fn)
+      : fn_(std::move(fn)) {}
+  bool try_handle(const EventPtr& ev) override {
+    if (auto e = std::dynamic_pointer_cast<const E>(ev)) {
+      fn_(std::move(e));
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::function<void(std::shared_ptr<const E>)> fn_;
+};
+
+// --- Ports ---
+
+class PortInstance {
+ public:
+  PortInstance(ComponentCore* owner, const PortType& type, bool provided);
+  PortInstance(const PortInstance&) = delete;
+  PortInstance& operator=(const PortInstance&) = delete;
+
+  bool provided() const { return provided_; }
+  const PortType& type() const { return type_; }
+  ComponentCore* owner() const { return owner_; }
+
+  void subscribe(std::unique_ptr<HandlerBase> handler);
+
+  /// Broadcasts an outgoing event onto all connected channels.
+  void publish(const EventPtr& ev);
+
+  /// Receives an event from a channel: queues it at the owning component.
+  void deliver(const EventPtr& ev);
+
+  /// Runs all matching subscribed handlers (owner's scheduler context).
+  void dispatch(const EventPtr& ev);
+
+  std::size_t channel_count() const { return channels_.size(); }
+  std::uint64_t events_dropped() const { return dropped_; }
+
+ private:
+  friend class Channel;
+  void attach(Channel* ch) { channels_.push_back(ch); }
+  void detach(Channel* ch);
+
+  ComponentCore* owner_;
+  const PortType& type_;
+  bool provided_;
+  std::vector<Channel*> channels_;
+  std::vector<std::unique_ptr<HandlerBase>> handlers_;
+  std::uint64_t dropped_ = 0;  // delivered but matched no handler
+};
+
+// --- Channels ---
+
+/// Per-direction event filter; an empty selector passes everything.
+using ChannelSelector = std::function<bool(const KompicsEvent&)>;
+
+class Channel {
+ public:
+  Channel(PortInstance* provided_side, PortInstance* required_side);
+  ~Channel();
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void set_indication_selector(ChannelSelector sel) { ind_sel_ = std::move(sel); }
+  void set_request_selector(ChannelSelector sel) { req_sel_ = std::move(sel); }
+
+  /// provided -> required direction.
+  void forward_indication(const EventPtr& ev);
+  /// required -> provided direction.
+  void forward_request(const EventPtr& ev);
+
+  /// Detaches from both ports; the channel becomes inert.
+  void disconnect();
+
+  PortInstance* provided_side() const { return provided_side_; }
+  PortInstance* required_side() const { return required_side_; }
+
+ private:
+  PortInstance* provided_side_;
+  PortInstance* required_side_;
+  ChannelSelector ind_sel_;
+  ChannelSelector req_sel_;
+};
+
+// --- Component definition (user-facing base class) ---
+
+class ComponentDefinition {
+ public:
+  virtual ~ComponentDefinition() = default;
+
+  /// Wiring hook invoked once the runtime core is attached: declare ports,
+  /// subscribe handlers, create children here (constructors run before the
+  /// core exists and must not call the protected API below).
+  virtual void setup() {}
+
+  const std::string& name() const;
+
+ protected:
+  ComponentDefinition() = default;
+
+  /// Declares (or retrieves) this component's provided port of type P.
+  template <typename P>
+  PortInstance& provides();
+
+  /// Declares (or retrieves) this component's required port of type P.
+  /// (Named `require` because `requires` is reserved in C++20.)
+  template <typename P>
+  PortInstance& require();
+
+  /// Creates a child component: lifecycle events (Start/Stop/Kill) arriving
+  /// at this component's control port cascade to children, so starting the
+  /// root of a subtree starts the whole subtree — the Kompics component
+  /// hierarchy (the paper's vnodes are such subtrees).
+  template <typename C, typename... Args>
+  C& create_child(std::string name, Args&&... args);
+
+  /// The implicit control port (handles Start/Stop/Kill).
+  PortInstance& control();
+
+  /// Publishes an event on a port, validating event direction against the
+  /// port type. Thread-safe; may be called from timer callbacks.
+  void trigger(EventPtr ev, PortInstance& port);
+
+  /// Subscribes a handler for events of (sub)type E arriving at `port`.
+  template <typename E>
+  void subscribe(PortInstance& port, std::function<void(const E&)> fn) {
+    port.subscribe(std::make_unique<TypedHandler<E>>(std::move(fn)));
+  }
+
+  /// Subscribes a handler receiving the shared event pointer (zero-copy
+  /// retention of immutable events).
+  template <typename E>
+  void subscribe_ptr(PortInstance& port,
+                     std::function<void(std::shared_ptr<const E>)> fn) {
+    port.subscribe(std::make_unique<PtrHandler<E>>(std::move(fn)));
+  }
+
+  KompicsSystem& system();
+  const Clock& clock() const;
+
+ private:
+  friend class ComponentCore;
+  friend class KompicsSystem;
+  ComponentCore* core_ = nullptr;
+};
+
+// --- Component core (runtime side) ---
+
+class ComponentCore {
+ public:
+  ComponentCore(KompicsSystem& system, std::string name);
+  ~ComponentCore();
+  ComponentCore(const ComponentCore&) = delete;
+  ComponentCore& operator=(const ComponentCore&) = delete;
+
+  /// Takes ownership of the definition and attaches the core to it.
+  void adopt(std::unique_ptr<ComponentDefinition> def);
+
+  ComponentDefinition& definition() { return *definition_; }
+  KompicsSystem& system() { return system_; }
+  const std::string& name() const { return name_; }
+
+  /// Declares or fetches a port of `type` on the given side.
+  PortInstance& port(const PortType& type, bool provided);
+  PortInstance& control_port() { return *control_; }
+
+  /// Queues an event arriving at `at` and schedules execution.
+  void enqueue(PortInstance* at, EventPtr ev);
+
+  /// Registers a child core for lifecycle cascading.
+  void adopt_child(ComponentCore* child) {
+    children_.push_back(child);
+    child->has_parent_ = true;
+  }
+  const std::vector<ComponentCore*>& children() const { return children_; }
+  /// True for non-root components (they start via their parent's cascade).
+  bool has_parent() const { return has_parent_; }
+
+  /// Executes up to max_events_per_scheduling queued events. Invoked by the
+  /// scheduler; never concurrently for the same core.
+  void execute();
+
+  std::uint64_t events_handled() const { return events_handled_; }
+  std::size_t queued_events() const;
+
+ private:
+  KompicsSystem& system_;
+  std::string name_;
+  std::unique_ptr<ComponentDefinition> definition_;
+  std::vector<std::unique_ptr<PortInstance>> ports_;
+  std::map<std::pair<const PortType*, bool>, PortInstance*> port_index_;
+  PortInstance* control_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::deque<std::pair<PortInstance*, EventPtr>> queue_;
+  bool scheduled_ = false;
+  std::uint64_t events_handled_ = 0;
+  std::vector<ComponentCore*> children_;
+  bool has_parent_ = false;
+};
+
+// Out-of-line template definitions (need ComponentCore).
+
+template <typename P>
+PortInstance& ComponentDefinition::provides() {
+  return core_->port(port_type<P>(), true);
+}
+
+template <typename P>
+PortInstance& ComponentDefinition::require() {
+  return core_->port(port_type<P>(), false);
+}
+
+}  // namespace kmsg::kompics

@@ -1,0 +1,34 @@
+// Kompics events.
+//
+// Every message travelling through ports and channels derives from
+// KompicsEvent. Events are immutable once triggered and are shared between
+// all receivers (Kompics' broadcast channel model means the same event object
+// can be handled by many components), hence they travel as
+// std::shared_ptr<const E>.
+#pragma once
+
+#include <memory>
+
+namespace kmsg::kompics {
+
+struct KompicsEvent {
+  virtual ~KompicsEvent() = default;
+};
+
+using EventPtr = std::shared_ptr<const KompicsEvent>;
+
+/// Convenience factory: make_event<MyEvent>(args...) -> shared_ptr<const E>.
+template <typename E, typename... Args>
+std::shared_ptr<const E> make_event(Args&&... args) {
+  return std::make_shared<const E>(std::forward<Args>(args)...);
+}
+
+// --- Lifecycle events on the implicit control port ---
+
+struct Start final : KompicsEvent {};
+struct Stop final : KompicsEvent {};
+struct Kill final : KompicsEvent {};
+struct Started final : KompicsEvent {};
+struct Stopped final : KompicsEvent {};
+
+}  // namespace kmsg::kompics

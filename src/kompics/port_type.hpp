@@ -1,0 +1,89 @@
+// Port types: the "service specifications" of Kompics.
+//
+// A port type declares which event types may travel in each direction:
+// *indications* flow from the providing component to requiring components,
+// *requests* flow the other way. Subtypes of a declared event type are
+// admitted too (checked via RTTI), mirroring Kompics' type-hierarchy
+// semantics. Example:
+//
+//   struct Network : PortType {
+//     Network() {
+//       request<Msg>();
+//       request<MessageNotifyReq>();
+//       indication<Msg>();
+//       indication<MessageNotifyResp>();
+//     }
+//   };
+#pragma once
+
+#include <functional>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "kompics/event.hpp"
+
+namespace kmsg::kompics {
+
+class PortType {
+ public:
+  virtual ~PortType() = default;
+
+  bool allows_indication(const KompicsEvent& ev) const {
+    for (const auto& m : indications_) {
+      if (m(ev)) return true;
+    }
+    return false;
+  }
+  bool allows_request(const KompicsEvent& ev) const {
+    for (const auto& m : requests_) {
+      if (m(ev)) return true;
+    }
+    return false;
+  }
+
+  const std::string& name() const { return name_; }
+
+ protected:
+  PortType() = default;
+
+  template <typename E>
+  void indication() {
+    indications_.push_back(
+        [](const KompicsEvent& ev) { return dynamic_cast<const E*>(&ev) != nullptr; });
+  }
+  template <typename E>
+  void request() {
+    requests_.push_back(
+        [](const KompicsEvent& ev) { return dynamic_cast<const E*>(&ev) != nullptr; });
+  }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+ private:
+  using Matcher = std::function<bool(const KompicsEvent&)>;
+  std::vector<Matcher> indications_;
+  std::vector<Matcher> requests_;
+  std::string name_ = "port";
+};
+
+/// Canonical instance of a port type (port types are stateless descriptors).
+template <typename P>
+const P& port_type() {
+  static const P instance{};
+  return instance;
+}
+
+/// The implicit control port every component has: lifecycle requests flow to
+/// the component, lifecycle notifications flow out of it.
+struct ControlPort : PortType {
+  ControlPort() {
+    set_name("control");
+    request<Start>();
+    request<Stop>();
+    request<Kill>();
+    indication<Started>();
+    indication<Stopped>();
+  }
+};
+
+}  // namespace kmsg::kompics

@@ -1,0 +1,111 @@
+#include "kompics/scheduler.hpp"
+
+#include <atomic>
+
+#include "kompics/core.hpp"
+
+namespace kmsg::kompics {
+
+// --- SimulationScheduler ---
+
+void SimulationScheduler::schedule(ComponentCore* core) {
+  // Component execution is instantaneous in virtual time; scheduling "now"
+  // preserves FIFO order among ready components via the simulator's
+  // deterministic tie-breaking.
+  sim_.schedule_after(Duration::zero(), [core] { core->execute(); });
+}
+
+CancelFn SimulationScheduler::schedule_delayed(Duration delay,
+                                               std::function<void()> fn) {
+  auto handle = sim_.schedule_after(delay, std::move(fn));
+  return [handle]() mutable { handle.cancel(); };
+}
+
+// --- ThreadPoolScheduler ---
+
+ThreadPoolScheduler::ThreadPoolScheduler(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this](std::stop_token st) { worker_loop(st); });
+  }
+  timer_thread_ = std::jthread([this](std::stop_token st) { timer_loop(st); });
+}
+
+ThreadPoolScheduler::~ThreadPoolScheduler() { shutdown(); }
+
+void ThreadPoolScheduler::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  for (auto& w : workers_) w.request_stop();
+  timer_thread_.request_stop();
+  work_cv_.notify_all();
+  timer_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  if (timer_thread_.joinable()) timer_thread_.join();
+}
+
+void ThreadPoolScheduler::schedule(ComponentCore* core) {
+  {
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    if (stopping_) return;
+    work_.push_back(core);
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPoolScheduler::worker_loop(std::stop_token st) {
+  for (;;) {
+    ComponentCore* core = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(work_mutex_);
+      work_cv_.wait(lock, st, [this] { return !work_.empty() || stopping_; });
+      if ((st.stop_requested() || stopping_) && work_.empty()) return;
+      if (work_.empty()) continue;
+      core = work_.front();
+      work_.pop_front();
+    }
+    core->execute();
+  }
+}
+
+CancelFn ThreadPoolScheduler::schedule_delayed(Duration delay,
+                                               std::function<void()> fn) {
+  auto cancelled = std::make_shared<std::atomic<bool>>(false);
+  const auto at = std::chrono::steady_clock::now() +
+                  std::chrono::nanoseconds(delay.as_nanos());
+  {
+    std::lock_guard<std::mutex> lock(timer_mutex_);
+    timers_.emplace(at, TimerEntry{cancelled, std::move(fn)});
+  }
+  timer_cv_.notify_all();
+  return [cancelled] { cancelled->store(true); };
+}
+
+void ThreadPoolScheduler::timer_loop(std::stop_token st) {
+  std::unique_lock<std::mutex> lock(timer_mutex_);
+  while (!st.stop_requested()) {
+    if (timers_.empty()) {
+      timer_cv_.wait(lock, st, [this] { return !timers_.empty(); });
+      if (st.stop_requested()) return;
+      continue;
+    }
+    const auto next = timers_.begin()->first;
+    if (std::chrono::steady_clock::now() < next) {
+      timer_cv_.wait_until(lock, st, next, [] { return false; });
+      if (st.stop_requested()) return;
+      continue;
+    }
+    auto entry = std::move(timers_.begin()->second);
+    timers_.erase(timers_.begin());
+    lock.unlock();
+    if (!entry.cancelled->load()) entry.fn();
+    lock.lock();
+  }
+}
+
+}  // namespace kmsg::kompics

@@ -1,0 +1,90 @@
+// Component schedulers.
+//
+// Two interchangeable implementations:
+//  - SimulationScheduler: executes components as discrete-event simulator
+//    events (deterministic, virtual time) — used by all experiments;
+//  - ThreadPoolScheduler: a work-queue of components drained by N worker
+//    threads plus a timer thread (wall-clock time) — used by the runnable
+//    examples to show the public API is not simulation-bound.
+//
+// A component is enqueued at most once (ComponentCore::scheduled_ flag) and
+// is executed by one thread at a time, which is Kompics' concurrency model.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace kmsg::kompics {
+
+class ComponentCore;
+
+/// Cancels a delayed callback; calling after the callback ran is a no-op.
+using CancelFn = std::function<void()>;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// Enqueues a component for execution.
+  virtual void schedule(ComponentCore* core) = 0;
+  /// Schedules `fn` to run after `delay` (timer facility backing).
+  virtual CancelFn schedule_delayed(Duration delay, std::function<void()> fn) = 0;
+  virtual const Clock& clock() const = 0;
+  /// Stops worker threads (no-op for the simulation scheduler).
+  virtual void shutdown() {}
+};
+
+class SimulationScheduler final : public Scheduler {
+ public:
+  explicit SimulationScheduler(sim::Simulator& sim) : sim_(sim) {}
+  void schedule(ComponentCore* core) override;
+  CancelFn schedule_delayed(Duration delay, std::function<void()> fn) override;
+  const Clock& clock() const override { return sim_; }
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+};
+
+class ThreadPoolScheduler final : public Scheduler {
+ public:
+  explicit ThreadPoolScheduler(std::size_t workers);
+  ~ThreadPoolScheduler() override;
+
+  void schedule(ComponentCore* core) override;
+  CancelFn schedule_delayed(Duration delay, std::function<void()> fn) override;
+  const Clock& clock() const override { return clock_; }
+  void shutdown() override;
+
+ private:
+  void worker_loop(std::stop_token st);
+  void timer_loop(std::stop_token st);
+
+  SteadyClock clock_;
+
+  std::mutex work_mutex_;
+  std::condition_variable_any work_cv_;
+  std::deque<ComponentCore*> work_;
+  bool stopping_ = false;
+
+  struct TimerEntry {
+    std::shared_ptr<std::atomic<bool>> cancelled;
+    std::function<void()> fn;
+  };
+  std::mutex timer_mutex_;
+  std::condition_variable_any timer_cv_;
+  std::multimap<std::chrono::steady_clock::time_point, TimerEntry> timers_;
+
+  std::vector<std::jthread> workers_;
+  std::jthread timer_thread_;
+};
+
+}  // namespace kmsg::kompics

@@ -1,0 +1,79 @@
+#include "kompics/system.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace kmsg::kompics {
+
+std::string Config::get_string(const std::string& key, std::string fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+KompicsSystem::KompicsSystem(sim::Simulator& sim, SystemSettings settings)
+    : settings_(settings),
+      scheduler_(std::make_unique<SimulationScheduler>(sim)) {}
+
+KompicsSystem::KompicsSystem(std::size_t worker_threads, SystemSettings settings)
+    : settings_(settings),
+      scheduler_(std::make_unique<ThreadPoolScheduler>(worker_threads)) {}
+
+KompicsSystem::~KompicsSystem() { shutdown(); }
+
+void KompicsSystem::shutdown() { scheduler_->shutdown(); }
+
+Channel& KompicsSystem::connect(PortInstance& provided, PortInstance& required,
+                                ChannelSelector indication_selector,
+                                ChannelSelector request_selector) {
+  if (!provided.provided() || required.provided()) {
+    throw std::logic_error(
+        "connect: expected (provided, required) port pair for type " +
+        provided.type().name());
+  }
+  if (&provided.type() != &required.type()) {
+    throw std::logic_error("connect: port type mismatch (" +
+                           provided.type().name() + " vs " +
+                           required.type().name() + ")");
+  }
+  auto channel = std::make_unique<Channel>(&provided, &required);
+  if (indication_selector) channel->set_indication_selector(std::move(indication_selector));
+  if (request_selector) channel->set_request_selector(std::move(request_selector));
+  channels_.push_back(std::move(channel));
+  return *channels_.back();
+}
+
+void KompicsSystem::disconnect(Channel& channel) { channel.disconnect(); }
+
+void KompicsSystem::start(ComponentDefinition& def) {
+  auto* core = def.core_;
+  core->enqueue(&core->control_port(), make_event<Start>());
+}
+
+void KompicsSystem::stop(ComponentDefinition& def) {
+  auto* core = def.core_;
+  core->enqueue(&core->control_port(), make_event<Stop>());
+}
+
+void KompicsSystem::start_all() {
+  // Only roots are started directly; children start through their parent's
+  // lifecycle cascade (starting a subtree's root starts the subtree).
+  for (auto& core : cores_) {
+    if (!core->has_parent()) {
+      core->enqueue(&core->control_port(), make_event<Start>());
+    }
+  }
+}
+
+}  // namespace kmsg::kompics

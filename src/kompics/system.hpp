@@ -1,0 +1,113 @@
+// KompicsSystem: owns components, channels, the scheduler and configuration.
+//
+// The system is the composition root: create components, connect their
+// ports, start them, and (in simulation mode) drive the simulator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "kompics/core.hpp"
+#include "kompics/scheduler.hpp"
+
+namespace kmsg::kompics {
+
+/// Simple string-keyed configuration store with typed accessors; components
+/// read tunables from here (the Kompics config analogue).
+class Config {
+ public:
+  void set(const std::string& key, std::string value) {
+    values_[key] = std::move(value);
+  }
+  void set(const std::string& key, double value) {
+    values_[key] = std::to_string(value);
+  }
+  void set(const std::string& key, std::int64_t value) {
+    values_[key] = std::to_string(value);
+  }
+  std::string get_string(const std::string& key, std::string fallback = "") const;
+  double get_double(const std::string& key, double fallback = 0.0) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback = 0) const;
+  bool contains(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+struct SystemSettings {
+  /// Max queued events a component handles per scheduling — the paper's
+  /// throughput (cache reuse) vs. fairness (starvation) trade-off knob.
+  std::size_t max_events_per_scheduling = 16;
+};
+
+class KompicsSystem {
+ public:
+  /// Simulation-backed system: components execute in virtual time.
+  explicit KompicsSystem(sim::Simulator& sim, SystemSettings settings = {});
+  /// Thread-pool-backed system: components execute on worker threads.
+  explicit KompicsSystem(std::size_t worker_threads, SystemSettings settings = {});
+  ~KompicsSystem();
+  KompicsSystem(const KompicsSystem&) = delete;
+  KompicsSystem& operator=(const KompicsSystem&) = delete;
+
+  /// Creates a component from its definition type; returns the definition
+  /// for port access. The component is passive until start() is called.
+  template <typename C, typename... Args>
+  C& create(std::string name, Args&&... args) {
+    static_assert(std::is_base_of_v<ComponentDefinition, C>);
+    auto core = std::make_unique<ComponentCore>(*this, std::move(name));
+    auto def = std::make_unique<C>(std::forward<Args>(args)...);
+    C& ref = *def;
+    core->adopt(std::move(def));
+    cores_.push_back(std::move(core));
+    ref.setup();
+    return ref;
+  }
+
+  /// Connects a provided port to a required port of the same port type.
+  /// Optional per-direction selectors filter events (ChannelSelector model).
+  Channel& connect(PortInstance& provided, PortInstance& required,
+                   ChannelSelector indication_selector = {},
+                   ChannelSelector request_selector = {});
+  void disconnect(Channel& channel);
+
+  /// Triggers Start on the component's control port.
+  void start(ComponentDefinition& def);
+  /// Triggers Stop on the component's control port (cascades to children).
+  void stop(ComponentDefinition& def);
+  /// Starts every root component created so far (children start via their
+  /// parent's lifecycle cascade).
+  void start_all();
+
+  Scheduler& scheduler() { return *scheduler_; }
+  const Clock& clock() const { return scheduler_->clock(); }
+  Config& config() { return config_; }
+  std::size_t max_events_per_scheduling() const {
+    return settings_.max_events_per_scheduling;
+  }
+  std::size_t component_count() const { return cores_.size(); }
+
+  /// Stops scheduler threads (thread-pool mode); simulation mode is a no-op.
+  void shutdown();
+
+ private:
+  SystemSettings settings_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<std::unique_ptr<ComponentCore>> cores_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  Config config_;
+};
+
+// Out-of-line: needs the complete KompicsSystem.
+template <typename C, typename... Args>
+C& ComponentDefinition::create_child(std::string name, Args&&... args) {
+  C& child = core_->system().template create<C>(std::move(name),
+                                                std::forward<Args>(args)...);
+  core_->adopt_child(child.core_);
+  return child;
+}
+
+}  // namespace kmsg::kompics

@@ -1,0 +1,75 @@
+#include "kompics/timer.hpp"
+
+namespace kmsg::kompics {
+
+TimeoutId next_timeout_id() {
+  static std::atomic<TimeoutId> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TimerComponent::setup() {
+  timer_port_ = &provides<Timer>();
+  subscribe<ScheduleTimeout>(*timer_port_,
+                             [this](const ScheduleTimeout& e) { handle_schedule(e); });
+  subscribe<SchedulePeriodic>(*timer_port_,
+                              [this](const SchedulePeriodic& e) { handle_periodic(e); });
+  subscribe<CancelTimeout>(*timer_port_,
+                           [this](const CancelTimeout& e) { handle_cancel(e); });
+}
+
+std::size_t TimerComponent::active_timeouts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+void TimerComponent::fire(TimeoutId id, bool periodic, Duration period) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // cancelled concurrently
+    if (!periodic) pending_.erase(it);
+  }
+  trigger(make_event<Timeout>(id, clock().now()), *timer_port_);
+  if (periodic) {
+    CancelFn cancel = system().scheduler().schedule_delayed(
+        period, [this, id, period] { fire(id, true, period); });
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(id);
+    if (it != pending_.end()) {
+      it->second = std::move(cancel);
+    } else {
+      cancel();  // cancelled between trigger and rearm
+    }
+  }
+}
+
+void TimerComponent::handle_schedule(const ScheduleTimeout& st) {
+  const TimeoutId id = st.id;
+  CancelFn cancel = system().scheduler().schedule_delayed(
+      st.delay, [this, id] { fire(id, false, Duration::zero()); });
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_[id] = std::move(cancel);
+}
+
+void TimerComponent::handle_periodic(const SchedulePeriodic& sp) {
+  const TimeoutId id = sp.id;
+  const Duration period = sp.period;
+  CancelFn cancel = system().scheduler().schedule_delayed(
+      sp.initial, [this, id, period] { fire(id, true, period); });
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_[id] = std::move(cancel);
+}
+
+void TimerComponent::handle_cancel(const CancelTimeout& ct) {
+  CancelFn cancel;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(ct.id);
+    if (it == pending_.end()) return;
+    cancel = std::move(it->second);
+    pending_.erase(it);
+  }
+  if (cancel) cancel();
+}
+
+}  // namespace kmsg::kompics

@@ -1,0 +1,80 @@
+// The Kompics timer facility: a Timer port type and a TimerComponent that
+// provides it, backed by the system scheduler's delayed-execution primitive
+// (virtual time under simulation, a timer thread under the thread pool).
+//
+// Consumers require<Timer>(), trigger ScheduleTimeout / SchedulePeriodic /
+// CancelTimeout requests and handle Timeout indications, demultiplexing by
+// timeout id.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "kompics/core.hpp"
+#include "kompics/system.hpp"
+
+namespace kmsg::kompics {
+
+using TimeoutId = std::uint64_t;
+
+/// Allocates process-unique timeout ids.
+TimeoutId next_timeout_id();
+
+struct ScheduleTimeout final : KompicsEvent {
+  ScheduleTimeout(TimeoutId id_, Duration delay_) : id(id_), delay(delay_) {}
+  TimeoutId id;
+  Duration delay;
+};
+
+struct SchedulePeriodic final : KompicsEvent {
+  SchedulePeriodic(TimeoutId id_, Duration initial_, Duration period_)
+      : id(id_), initial(initial_), period(period_) {}
+  TimeoutId id;
+  Duration initial;
+  Duration period;
+};
+
+struct CancelTimeout final : KompicsEvent {
+  explicit CancelTimeout(TimeoutId id_) : id(id_) {}
+  TimeoutId id;
+};
+
+struct Timeout final : KompicsEvent {
+  Timeout(TimeoutId id_, TimePoint at_) : id(id_), fired_at(at_) {}
+  TimeoutId id;
+  TimePoint fired_at;
+};
+
+struct Timer : PortType {
+  Timer() {
+    set_name("Timer");
+    request<ScheduleTimeout>();
+    request<SchedulePeriodic>();
+    request<CancelTimeout>();
+    indication<Timeout>();
+  }
+};
+
+class TimerComponent final : public ComponentDefinition {
+ public:
+  void setup() override;
+
+  /// The provided Timer port, for wiring consumers.
+  PortInstance& provides_port() { return *timer_port_; }
+
+  std::size_t active_timeouts() const;
+
+ private:
+  void handle_schedule(const ScheduleTimeout& st);
+  void handle_periodic(const SchedulePeriodic& sp);
+  void handle_cancel(const CancelTimeout& ct);
+  void fire(TimeoutId id, bool periodic, Duration period);
+
+  PortInstance* timer_port_ = nullptr;
+  mutable std::mutex mutex_;
+  std::map<TimeoutId, CancelFn> pending_;
+};
+
+}  // namespace kmsg::kompics

@@ -1,0 +1,67 @@
+// Network addresses.
+//
+// The Java API (paper listing 4) specifies Address as an interface with
+// getIp/getPort/sameHostAs so applications can plug their own
+// implementations; the paper itself suggests an additional id field to
+// disambiguate endpoints. In C++ we realise the same design space with a
+// single regular value type carrying that id (`vnode`): value semantics give
+// us ordering, hashing, and serialisation for free, and the vnode field is
+// exactly the disambiguator the virtual-network package needs. sameHostAs
+// compares only the socket part (host + port), so co-hosted vnodes compare
+// same-host — the trigger for local reflection without serialisation.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "netsim/datagram.hpp"
+#include "wire/bytebuf.hpp"
+
+namespace kmsg::messaging {
+
+struct Address {
+  netsim::HostId host = 0;  ///< the simulated "IP"
+  netsim::Port port = 0;
+  /// Virtual-node id; 0 addresses the physical node itself.
+  std::uint64_t vnode = 0;
+
+  constexpr Address() = default;
+  constexpr Address(netsim::HostId h, netsim::Port p, std::uint64_t v = 0)
+      : host(h), port(p), vnode(v) {}
+
+  /// True when both addresses refer to the same network endpoint (socket),
+  /// regardless of vnode — such messages are reflected locally and never
+  /// serialised (paper §III-B).
+  constexpr bool same_host_as(const Address& o) const {
+    return host == o.host && port == o.port;
+  }
+
+  /// The same endpoint re-addressed to a different virtual node.
+  constexpr Address with_vnode(std::uint64_t v) const {
+    return Address{host, port, v};
+  }
+
+  auto operator<=>(const Address&) const = default;
+
+  std::string to_string() const {
+    std::string s = std::to_string(host) + ":" + std::to_string(port);
+    if (vnode != 0) s += "#" + std::to_string(vnode);
+    return s;
+  }
+
+  void serialize(wire::ByteBuf& buf) const {
+    buf.write_u32(host);
+    buf.write_u16(port);
+    buf.write_varint(vnode);
+  }
+  static Address deserialize(wire::ByteBuf& buf) {
+    Address a;
+    a.host = buf.read_u32();
+    a.port = buf.read_u16();
+    a.vnode = buf.read_varint();
+    return a;
+  }
+};
+
+}  // namespace kmsg::messaging

@@ -1,0 +1,361 @@
+#include "messaging/network_component.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.hpp"
+
+namespace kmsg::messaging {
+
+NotifyId next_notify_id() {
+  static std::atomic<NotifyId> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+NetworkComponent::NetworkComponent(netsim::Host& host, NetworkConfig config,
+                                   std::shared_ptr<SerializerRegistry> registry)
+    : host_(host), config_(config), registry_(std::move(registry)) {
+  if (config_.enable_compression) {
+    pipeline_.add_last(std::make_unique<wire::CompressionHandler>());
+  }
+}
+
+NetworkComponent::~NetworkComponent() {
+  if (status_cancel_) status_cancel_();
+}
+
+void NetworkComponent::setup() {
+  net_port_ = &provides<Network>();
+  subscribe_ptr<Msg>(*net_port_,
+                     [this](MsgPtr m) { handle_outgoing(std::move(m), {}); });
+  subscribe<MessageNotifyReq>(*net_port_, [this](const MessageNotifyReq& req) {
+    handle_outgoing(req.msg, req.id);
+  });
+  subscribe<kompics::Start>(control(), [this](const kompics::Start&) {
+    if (started_) return;
+    started_ = true;
+    start_listeners();
+    status_tick();
+  });
+}
+
+void NetworkComponent::start_listeners() {
+  const auto self = config_.self;
+  if (config_.listen_tcp) {
+    tcp_listener_ = std::make_unique<transport::TcpListener>(
+        host_, self.port, config_.tcp,
+        [this](std::shared_ptr<transport::TcpConnection> conn) {
+          ++stats_.sessions_accepted;
+          attach_inbound(std::move(conn), Transport::kTcp);
+        });
+  }
+  if (config_.listen_udt) {
+    udt_listener_ = std::make_unique<transport::UdtListener>(
+        host_, static_cast<netsim::Port>(self.port + kUdtPortOffset),
+        config_.udt, [this](std::shared_ptr<transport::UdtConnection> conn) {
+          ++stats_.sessions_accepted;
+          attach_inbound(std::move(conn), Transport::kUdt);
+        });
+  }
+  if (config_.listen_ledbat) {
+    ledbat_listener_ = std::make_unique<transport::LedbatListener>(
+        host_, static_cast<netsim::Port>(self.port + kLedbatPortOffset),
+        config_.ledbat,
+        [this](std::shared_ptr<transport::LedbatConnection> conn) {
+          ++stats_.sessions_accepted;
+          attach_inbound(std::move(conn), Transport::kLedbat);
+        });
+  }
+  if (config_.listen_udp) {
+    udp_ = transport::UdpEndpoint::open(host_, self.port, config_.udp);
+    if (udp_) {
+      udp_->set_on_message([this](netsim::HostId, netsim::Port,
+                                  std::vector<std::uint8_t> payload) {
+        deliver_udp(std::move(payload));
+      });
+    } else {
+      KMSG_ERROR("network") << "UDP bind failed on port " << self.port;
+    }
+  }
+}
+
+void NetworkComponent::status_tick() {
+  // Conservative idle reclamation (paper §III-C): close outbound sessions
+  // that have been idle (nothing queued, nothing unacknowledged) beyond the
+  // configured timeout.
+  if (config_.idle_session_timeout > Duration::zero()) {
+    const TimePoint now = system().clock().now();
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      Session& s = *it->second;
+      const bool idle = s.queue.empty() && s.conn && s.connected &&
+                        s.conn->unacked_bytes() == 0;
+      if (idle && now - s.last_activity > config_.idle_session_timeout) {
+        // close() triggers on_closed asynchronously, which erases the
+        // session; remove it from the map first so the callback's deferred
+        // erase finds nothing and the connection drains out gracefully.
+        auto conn = s.conn;
+        ++stats_.sessions_closed;
+        it = sessions_.erase(it);
+        conn->close();
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::vector<SessionStatus> statuses;
+  statuses.reserve(sessions_.size());
+  for (const auto& [key, s] : sessions_) {
+    SessionStatus st;
+    st.peer = s->peer;
+    st.transport = s->transport;
+    st.connected = s->connected;
+    if (s->conn) {
+      const auto& cs = s->conn->stats();
+      st.bytes_written = cs.bytes_written;
+      st.bytes_acked = cs.bytes_acked;
+      st.bytes_unacked = s->conn->unacked_bytes() + s->queued_bytes;
+    }
+    statuses.push_back(st);
+  }
+  trigger(kompics::make_event<NetworkStatus>(std::move(statuses)), *net_port_);
+  status_cancel_ = system().scheduler().schedule_delayed(
+      config_.status_interval, [this] { status_tick(); });
+}
+
+void NetworkComponent::notify_result(NotifyId id, DeliveryStatus status,
+                                     Transport via, std::size_t bytes) {
+  trigger(kompics::make_event<MessageNotifyResp>(id, status, via, bytes),
+          *net_port_);
+}
+
+void NetworkComponent::reflect_local(MsgPtr msg, std::optional<NotifyId> notify) {
+  ++stats_.msgs_reflected;
+  trigger(msg, *net_port_);
+  if (notify) notify_result(*notify, DeliveryStatus::kSent,
+                            msg->header().protocol(), 0);
+}
+
+void NetworkComponent::handle_outgoing(MsgPtr msg, std::optional<NotifyId> notify) {
+  const Header& h = msg->header();
+  if (h.destination().same_host_as(config_.self)) {
+    reflect_local(std::move(msg), notify);
+    return;
+  }
+  Transport proto = h.protocol();
+  if (proto == Transport::kData) {
+    // An unresolved DATA message reached the raw network component (no
+    // interceptor in front); fall back to TCP, which gives DATA's reliability
+    // guarantees.
+    KMSG_WARN("network") << "unresolved DATA message; falling back to TCP";
+    proto = Transport::kTcp;
+  }
+  if (proto == Transport::kUdp) {
+    send_udp(*msg, notify);
+    return;
+  }
+
+  // If the protocol was rewritten (DATA fallback), the wire envelope must
+  // carry the resolved protocol so the receiver sees what was actually used.
+  std::optional<Transport> override;
+  if (proto != h.protocol()) override = proto;
+  auto serialized = registry_->serialize(*msg, override);
+  if (!serialized) {
+    ++stats_.serialize_failures;
+    ++stats_.msgs_dropped;
+    if (notify) notify_result(*notify, DeliveryStatus::kFailed, proto, 0);
+    return;
+  }
+  const std::size_t payload_bytes = serialized->size();
+  auto processed = pipeline_.process_outbound(std::move(*serialized));
+  auto framed = wire::encode_frame(processed);
+
+  Session& s = session_for(h.destination().with_vnode(0), proto);
+  if (s.queued_bytes + framed.size() > config_.session_queue_limit_bytes) {
+    ++stats_.msgs_dropped;
+    if (notify) notify_result(*notify, DeliveryStatus::kFailed, proto, payload_bytes);
+    return;
+  }
+  s.queued_bytes += framed.size();
+  s.queue.push_back(PendingFrame{std::move(framed), 0, notify, payload_bytes});
+  s.last_activity = system().clock().now();
+  if (s.connected) drain(s);
+}
+
+void NetworkComponent::send_udp(const Msg& msg, std::optional<NotifyId> notify) {
+  if (!udp_) {
+    ++stats_.msgs_dropped;
+    if (notify) notify_result(*notify, DeliveryStatus::kFailed, Transport::kUdp, 0);
+    return;
+  }
+  auto serialized = registry_->serialize(msg);
+  if (!serialized) {
+    ++stats_.serialize_failures;
+    ++stats_.msgs_dropped;
+    if (notify) notify_result(*notify, DeliveryStatus::kFailed, Transport::kUdp, 0);
+    return;
+  }
+  const std::size_t payload_bytes = serialized->size();
+  auto processed = pipeline_.process_outbound(std::move(*serialized));
+  const auto& dst = msg.header().destination();
+  const bool ok = udp_->send(dst.host, dst.port, std::move(processed));
+  if (ok) {
+    ++stats_.msgs_sent;
+    stats_.bytes_sent += payload_bytes;
+  } else {
+    ++stats_.msgs_dropped;
+  }
+  if (notify) {
+    notify_result(*notify, ok ? DeliveryStatus::kSent : DeliveryStatus::kFailed,
+                  Transport::kUdp, payload_bytes);
+  }
+}
+
+NetworkComponent::Session& NetworkComponent::session_for(const Address& peer,
+                                                         Transport t) {
+  const auto key = std::make_pair(peer, t);
+  if (auto it = sessions_.find(key); it != sessions_.end()) return *it->second;
+
+  auto s = std::make_unique<Session>();
+  s->peer = peer;
+  s->transport = t;
+  Session& ref = *s;
+  sessions_.emplace(key, std::move(s));
+  ++stats_.sessions_opened;
+  open_session(ref);
+  return ref;
+}
+
+void NetworkComponent::open_session(Session& s) {
+  std::shared_ptr<transport::StreamConnection> conn;
+  if (s.transport == Transport::kTcp) {
+    conn = transport::TcpConnection::connect(host_, s.peer.host, s.peer.port,
+                                             config_.tcp);
+  } else if (s.transport == Transport::kLedbat) {
+    conn = transport::LedbatConnection::connect(
+        host_, s.peer.host,
+        static_cast<netsim::Port>(s.peer.port + kLedbatPortOffset),
+        config_.ledbat);
+  } else {
+    conn = transport::UdtConnection::connect(
+        host_, s.peer.host, static_cast<netsim::Port>(s.peer.port + kUdtPortOffset),
+        config_.udt);
+  }
+  s.conn = conn;
+  const Address peer = s.peer;
+  const Transport t = s.transport;
+  conn->set_on_connected([this, peer, t] {
+    auto it = sessions_.find({peer, t});
+    if (it == sessions_.end()) return;
+    it->second->connected = true;
+    drain(*it->second);
+  });
+  conn->set_on_writable([this, peer, t] {
+    auto it = sessions_.find({peer, t});
+    if (it != sessions_.end() && it->second->connected) drain(*it->second);
+  });
+  // Outbound connections can also receive data (full-duplex sessions); the
+  // Inbound record installed here must not steal on_closed, so the session's
+  // close handler (below) both tears down the session and reaps the record.
+  attach_inbound(conn, t, /*manage_close=*/false);
+  auto* raw_conn = conn.get();
+  conn->set_on_closed([this, peer, t, raw_conn] {
+    // Defer teardown to a fresh event: destroying the connection while one
+    // of its own frames is still on the stack would be use-after-free.
+    host_.network_simulator().schedule_after(Duration::zero(),
+                                             [this, peer, t, raw_conn] {
+                                               remove_inbound(raw_conn);
+                                               on_session_closed(peer, t);
+                                             });
+  });
+}
+
+void NetworkComponent::drain(Session& s) {
+  while (!s.queue.empty()) {
+    PendingFrame& f = s.queue.front();
+    std::span<const std::uint8_t> rest{f.bytes.data() + f.offset,
+                                       f.bytes.size() - f.offset};
+    const std::size_t n = s.conn->write(rest);
+    f.offset += n;
+    if (f.offset < f.bytes.size()) break;  // transport backpressure
+    ++stats_.msgs_sent;
+    stats_.bytes_sent += f.payload_bytes;
+    if (f.notify) {
+      notify_result(*f.notify, DeliveryStatus::kSent, s.transport, f.payload_bytes);
+    }
+    s.queued_bytes -= f.bytes.size();
+    s.queue.pop_front();
+  }
+}
+
+void NetworkComponent::on_session_closed(const Address& peer, Transport t) {
+  auto it = sessions_.find({peer, t});
+  if (it == sessions_.end()) return;
+  ++stats_.sessions_closed;
+  // At-most-once semantics: queued messages are lost; fail their notifies.
+  for (const auto& f : it->second->queue) {
+    ++stats_.msgs_dropped;
+    if (f.notify) {
+      notify_result(*f.notify, DeliveryStatus::kFailed, t, f.payload_bytes);
+    }
+  }
+  sessions_.erase(it);
+}
+
+void NetworkComponent::attach_inbound(
+    std::shared_ptr<transport::StreamConnection> conn, Transport t,
+    bool manage_close) {
+  auto in = std::make_unique<Inbound>();
+  in->conn = conn;
+  in->transport = t;
+  in->decoder = std::make_unique<wire::FrameDecoder>();
+  in->decoder->set_on_frame(
+      [this](std::vector<std::uint8_t> frame) { deliver_frame(std::move(frame)); });
+  Inbound* raw = in.get();
+  conn->set_on_data([raw](std::span<const std::uint8_t> chunk) {
+    if (!raw->decoder->feed(chunk)) {
+      KMSG_ERROR("network") << "poisoned frame stream; aborting connection";
+      raw->conn->abort();
+    }
+  });
+  if (manage_close) {
+    // Accepted (passive) connections have no Session record; reap on close
+    // (deferred — see open_session for why).
+    auto* raw_conn = conn.get();
+    conn->set_on_closed([this, raw_conn] {
+      host_.network_simulator().schedule_after(
+          Duration::zero(), [this, raw_conn] { remove_inbound(raw_conn); });
+    });
+  }
+  inbound_.push_back(std::move(in));
+}
+
+void NetworkComponent::remove_inbound(transport::StreamConnection* conn) {
+  inbound_.erase(std::remove_if(inbound_.begin(), inbound_.end(),
+                                [conn](const std::unique_ptr<Inbound>& p) {
+                                  return p->conn.get() == conn;
+                                }),
+                 inbound_.end());
+}
+
+void NetworkComponent::deliver_frame(std::vector<std::uint8_t> frame) {
+  auto inbound = pipeline_.process_inbound(std::move(frame));
+  if (!inbound) {
+    ++stats_.deserialize_failures;
+    return;
+  }
+  auto msg = registry_->deserialize(*inbound);
+  if (!msg) {
+    ++stats_.deserialize_failures;
+    return;
+  }
+  ++stats_.msgs_received;
+  stats_.bytes_received += inbound->size();
+  trigger(msg, *net_port_);
+}
+
+void NetworkComponent::deliver_udp(std::vector<std::uint8_t> payload) {
+  deliver_frame(std::move(payload));
+}
+
+}  // namespace kmsg::messaging

@@ -1,0 +1,161 @@
+// NetworkComponent: the NettyNetwork analogue (paper §III).
+//
+// Provides the Network port. Outbound Msg requests are serialised through
+// the registry and the handler pipeline, framed, and written to a transport
+// session selected by the message header's (destination, protocol) pair —
+// sessions are created lazily, messages queue while a session connects, and
+// established sessions are kept open conservatively (channel establishment
+// may be expensive, e.g. NAT hole punching). Inbound frames are decoded,
+// deserialised and triggered as Msg indications.
+//
+// Messages whose destination sameHostAs the local endpoint are *reflected*:
+// delivered straight back up the network port without serialisation. The
+// virtual-network package routes such messages to the right vnode via
+// channel selectors (see virtual_network.hpp).
+//
+// Delivery semantics: at-most-once (a dropped session loses queued
+// messages); FIFO per (destination, transport) over TCP/UDT, unordered over
+// UDP — exactly the semantics table of paper §III-B.
+//
+// Wire-level port convention: TCP listens on (tcp, port); plain UDP on
+// (udp, port); UDT on (udp, port + 1) so the two UDP consumers do not clash.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "kompics/system.hpp"
+#include "messaging/network_port.hpp"
+#include "messaging/serialization.hpp"
+#include "transport/ledbat.hpp"
+#include "transport/tcp.hpp"
+#include "transport/udp.hpp"
+#include "transport/udt.hpp"
+#include "wire/framing.hpp"
+#include "wire/pipeline.hpp"
+
+namespace kmsg::messaging {
+
+/// Offset added to the announced port for the UDT listener's UDP binding.
+inline constexpr netsim::Port kUdtPortOffset = 1;
+/// Offset for the LEDBAT listener's UDP binding.
+inline constexpr netsim::Port kLedbatPortOffset = 2;
+
+struct NetworkConfig {
+  Address self;
+  bool listen_tcp = true;
+  bool listen_udp = true;
+  bool listen_udt = true;
+  bool listen_ledbat = true;
+  transport::TcpConfig tcp;
+  transport::UdtConfig udt;
+  transport::UdpConfig udp;
+  transport::LedbatConfig ledbat;
+  /// Installs the snappy-like compression handler in the pipeline (the
+  /// paper's Netty default). Off by default here because the reference
+  /// workloads are incompressible; the quickstart shows enabling it.
+  bool enable_compression = false;
+  /// Cadence of NetworkStatus indications (reward signal for the learner).
+  Duration status_interval = Duration::millis(100);
+  /// Per-session cap on queued-but-unwritten frame bytes; messages beyond
+  /// it are dropped (at-most-once) and notified as failed.
+  std::size_t session_queue_limit_bytes = 512 * 1024 * 1024;
+  /// Idle outbound sessions are eventually closed to reclaim resources —
+  /// conservatively, since channel establishment may be expensive (the
+  /// paper cites NAT hole punching, §III-C). Duration::zero() disables
+  /// reclamation entirely.
+  Duration idle_session_timeout = Duration::seconds(600.0);
+};
+
+struct NetworkComponentStats {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t msgs_reflected = 0;  ///< local vnode traffic, never serialised
+  std::uint64_t msgs_dropped = 0;
+  std::uint64_t bytes_sent = 0;      ///< serialised bytes (pre-framing)
+  std::uint64_t bytes_received = 0;
+  std::uint64_t serialize_failures = 0;
+  std::uint64_t deserialize_failures = 0;
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_accepted = 0;
+  std::uint64_t sessions_closed = 0;
+};
+
+class NetworkComponent final : public kompics::ComponentDefinition {
+ public:
+  NetworkComponent(netsim::Host& host, NetworkConfig config,
+                   std::shared_ptr<SerializerRegistry> registry);
+  ~NetworkComponent() override;
+
+  void setup() override;
+
+  kompics::PortInstance& network_port() { return *net_port_; }
+  const NetworkComponentStats& net_stats() const { return stats_; }
+  const NetworkConfig& net_config() const { return config_; }
+
+ private:
+  struct PendingFrame {
+    std::vector<std::uint8_t> bytes;
+    std::size_t offset = 0;  // bytes already written to the transport
+    std::optional<NotifyId> notify;
+    std::size_t payload_bytes = 0;  // pre-framing size, for the notify
+  };
+
+  struct Session {
+    Address peer;  // vnode stripped
+    Transport transport = Transport::kTcp;
+    std::shared_ptr<transport::StreamConnection> conn;
+    std::deque<PendingFrame> queue;
+    std::size_t queued_bytes = 0;
+    bool connected = false;
+    TimePoint last_activity = TimePoint::zero();
+  };
+
+  struct Inbound {
+    std::shared_ptr<transport::StreamConnection> conn;
+    std::unique_ptr<wire::FrameDecoder> decoder;
+    Transport transport = Transport::kTcp;
+    bool closed = false;
+  };
+
+  void handle_outgoing(MsgPtr msg, std::optional<NotifyId> notify);
+  void reflect_local(MsgPtr msg, std::optional<NotifyId> notify);
+  void send_udp(const Msg& msg, std::optional<NotifyId> notify);
+  Session& session_for(const Address& peer, Transport t);
+  void open_session(Session& s);
+  void drain(Session& s);
+  void on_session_closed(const Address& peer, Transport t);
+  void attach_inbound(std::shared_ptr<transport::StreamConnection> conn,
+                      Transport t, bool manage_close = true);
+  void remove_inbound(transport::StreamConnection* conn);
+  void deliver_frame(std::vector<std::uint8_t> frame);
+  void deliver_udp(std::vector<std::uint8_t> payload);
+  void notify_result(NotifyId id, DeliveryStatus status, Transport via,
+                     std::size_t bytes);
+  void start_listeners();
+  void status_tick();
+
+  netsim::Host& host_;
+  NetworkConfig config_;
+  std::shared_ptr<SerializerRegistry> registry_;
+  wire::Pipeline pipeline_;
+
+  kompics::PortInstance* net_port_ = nullptr;
+
+  std::unique_ptr<transport::TcpListener> tcp_listener_;
+  std::unique_ptr<transport::UdtListener> udt_listener_;
+  std::unique_ptr<transport::LedbatListener> ledbat_listener_;
+  std::shared_ptr<transport::UdpEndpoint> udp_;
+
+  std::map<std::pair<Address, Transport>, std::unique_ptr<Session>> sessions_;
+  std::vector<std::unique_ptr<Inbound>> inbound_;
+
+  kompics::CancelFn status_cancel_;
+  bool started_ = false;
+  NetworkComponentStats stats_;
+};
+
+}  // namespace kmsg::messaging

@@ -1,0 +1,72 @@
+// The Network port (paper listing 1) plus delivery notifications and the
+// periodic session-status indication that feeds the adaptive learner.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "kompics/port_type.hpp"
+#include "messaging/msg.hpp"
+
+namespace kmsg::messaging {
+
+using NotifyId = std::uint64_t;
+
+/// Requests notification of a message's delivery status ("fire and forget"
+/// otherwise). Answered with MessageNotifyResp.
+struct MessageNotifyReq final : kompics::KompicsEvent {
+  MessageNotifyReq(MsgPtr m, NotifyId id_) : msg(std::move(m)), id(id_) {}
+  MsgPtr msg;
+  NotifyId id;
+};
+
+enum class DeliveryStatus : std::uint8_t {
+  /// All bytes were accepted by the transport (stream) / emitted (UDP).
+  kSent,
+  /// The session failed or the message was rejected before transmission.
+  kFailed,
+};
+
+struct MessageNotifyResp final : kompics::KompicsEvent {
+  MessageNotifyResp(NotifyId id_, DeliveryStatus status_, Transport via_,
+                    std::size_t bytes_)
+      : id(id_), status(status_), via(via_), bytes(bytes_) {}
+  NotifyId id;
+  DeliveryStatus status;
+  Transport via;       ///< the concrete transport used
+  std::size_t bytes;   ///< serialised size on the wire (pre-framing)
+};
+
+/// Snapshot of one transport session's progress, emitted periodically by the
+/// network component. The adaptive interceptor uses the byte-acknowledgement
+/// deltas as its reward signal.
+struct SessionStatus {
+  Address peer;
+  Transport transport = Transport::kTcp;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_acked = 0;
+  std::uint64_t bytes_unacked = 0;
+  bool connected = false;
+};
+
+struct NetworkStatus final : kompics::KompicsEvent {
+  explicit NetworkStatus(std::vector<SessionStatus> s) : sessions(std::move(s)) {}
+  std::vector<SessionStatus> sessions;
+};
+
+struct Network : kompics::PortType {
+  Network() {
+    set_name("Network");
+    request<Msg>();
+    request<MessageNotifyReq>();
+    indication<Msg>();
+    indication<MessageNotifyResp>();
+    indication<NetworkStatus>();
+  }
+};
+
+/// Allocates process-unique notification ids.
+NotifyId next_notify_id();
+
+}  // namespace kmsg::messaging

@@ -1,0 +1,62 @@
+#include "messaging/serialization.hpp"
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace kmsg::messaging {
+
+void SerializerRegistry::register_type(std::uint32_t type_id, SerializeFn ser,
+                                       DeserializeFn deser) {
+  auto [it, inserted] =
+      entries_.try_emplace(type_id, Entry{std::move(ser), std::move(deser)});
+  (void)it;
+  if (!inserted) {
+    throw std::logic_error("SerializerRegistry: duplicate type id " +
+                           std::to_string(type_id));
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> SerializerRegistry::serialize(
+    const Msg& msg, std::optional<Transport> protocol_override) const {
+  auto it = entries_.find(msg.type_id());
+  if (it == entries_.end()) {
+    ++unknown_;
+    KMSG_WARN("serialization") << "no serializer for type id " << msg.type_id();
+    return std::nullopt;
+  }
+  wire::ByteBuf buf;
+  buf.write_varint(msg.type_id());
+  const Header& h = msg.header();
+  h.source().serialize(buf);
+  h.destination().serialize(buf);
+  buf.write_u8(static_cast<std::uint8_t>(protocol_override.value_or(h.protocol())));
+  it->second.ser(msg, buf);
+  ++serialized_;
+  return std::move(buf).take();
+}
+
+MsgPtr SerializerRegistry::deserialize(std::span<const std::uint8_t> bytes) const {
+  try {
+    wire::ByteBuf buf = wire::ByteBuf::wrap(bytes);
+    const auto type_id = static_cast<std::uint32_t>(buf.read_varint());
+    const Address src = Address::deserialize(buf);
+    const Address dst = Address::deserialize(buf);
+    const auto proto = static_cast<Transport>(buf.read_u8());
+    auto it = entries_.find(type_id);
+    if (it == entries_.end()) {
+      ++unknown_;
+      KMSG_WARN("serialization") << "no deserializer for type id " << type_id;
+      return nullptr;
+    }
+    BasicHeader header{src, dst, proto};
+    auto msg = it->second.deser(header, buf);
+    if (msg) ++deserialized_;
+    return msg;
+  } catch (const std::out_of_range&) {
+    KMSG_WARN("serialization") << "malformed message frame";
+    return nullptr;
+  }
+}
+
+}  // namespace kmsg::messaging

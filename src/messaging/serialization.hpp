@@ -1,0 +1,57 @@
+// Message serialisation.
+//
+// The registry maps a message type id to (serialise, deserialise) functions
+// for the message *body*; the framework owns the envelope: type id, header
+// kind, addresses, and protocol. This mirrors the paper's setup where the
+// NettyNetwork component drives Netty's serialisation handlers and
+// applications only register per-type codecs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "messaging/msg.hpp"
+#include "wire/bytebuf.hpp"
+
+namespace kmsg::messaging {
+
+class SerializerRegistry {
+ public:
+  /// Serialises the message body (not the header) into the buffer.
+  using SerializeFn = std::function<void(const Msg&, wire::ByteBuf&)>;
+  /// Rebuilds the message from header + body bytes.
+  using DeserializeFn = std::function<MsgPtr(const BasicHeader&, wire::ByteBuf&)>;
+
+  void register_type(std::uint32_t type_id, SerializeFn ser, DeserializeFn deser);
+  bool knows(std::uint32_t type_id) const { return entries_.count(type_id) > 0; }
+
+  /// Serialises envelope + body. Returns std::nullopt if the type id is
+  /// unregistered. `protocol_override` replaces the header's protocol in the
+  /// envelope (used when the network resolves DATA fallbacks).
+  std::optional<std::vector<std::uint8_t>> serialize(
+      const Msg& msg, std::optional<Transport> protocol_override = {}) const;
+
+  /// Parses envelope + body. Returns nullptr on malformed input or unknown
+  /// type id. The reconstructed message sees a BasicHeader (routing headers
+  /// are flattened to their wire form: current source/destination/protocol).
+  MsgPtr deserialize(std::span<const std::uint8_t> bytes) const;
+
+  std::uint64_t messages_serialized() const { return serialized_; }
+  std::uint64_t messages_deserialized() const { return deserialized_; }
+  std::uint64_t unknown_type_errors() const { return unknown_; }
+
+ private:
+  struct Entry {
+    SerializeFn ser;
+    DeserializeFn deser;
+  };
+  std::map<std::uint32_t, Entry> entries_;
+  mutable std::uint64_t serialized_ = 0;
+  mutable std::uint64_t deserialized_ = 0;
+  mutable std::uint64_t unknown_ = 0;
+};
+
+}  // namespace kmsg::messaging

@@ -1,0 +1,35 @@
+// The Transport enumeration: the per-message protocol selector that is the
+// heart of KompicsMessaging. Every message header carries one of these; DATA
+// is the pseudo-protocol resolved to TCP or UDT at runtime by the adaptive
+// interceptor (paper §IV).
+#pragma once
+
+#include <cstdint>
+
+namespace kmsg::messaging {
+
+enum class Transport : std::uint8_t {
+  kUdp = 0,
+  kTcp = 1,
+  kUdt = 2,
+  /// Meta-protocol: replaced with kTcp or kUdt by the data interceptor
+  /// according to the active protocol selection policy.
+  kData = 3,
+  /// Extension: LEDBAT (RFC 6817) background transport — reliable like TCP
+  /// but yielding to foreground traffic; the alternative the paper's §I
+  /// LEDBAT-on-Kompics experience motivates.
+  kLedbat = 4,
+};
+
+constexpr const char* to_string(Transport t) {
+  switch (t) {
+    case Transport::kUdp: return "UDP";
+    case Transport::kTcp: return "TCP";
+    case Transport::kUdt: return "UDT";
+    case Transport::kData: return "DATA";
+    case Transport::kLedbat: return "LEDBAT";
+  }
+  return "?";
+}
+
+}  // namespace kmsg::messaging

@@ -1,0 +1,21 @@
+#include "messaging/virtual_network.hpp"
+
+namespace kmsg::messaging {
+
+kompics::Channel& VirtualNetworkChannel::register_vnode(
+    std::uint64_t vnode_id, kompics::PortInstance& consumer_port) {
+  auto selector = [vnode_id](const kompics::KompicsEvent& ev) {
+    if (const auto* msg = dynamic_cast<const Msg*>(&ev)) {
+      return msg->header().destination().vnode == vnode_id;
+    }
+    return true;  // notifications and status pass to all vnodes
+  };
+  return system_.connect(network_port_, consumer_port, std::move(selector));
+}
+
+kompics::Channel& VirtualNetworkChannel::register_tap(
+    kompics::PortInstance& consumer_port) {
+  return system_.connect(network_port_, consumer_port);
+}
+
+}  // namespace kmsg::messaging

@@ -1,0 +1,44 @@
+// Virtual networks (paper §III-B).
+//
+// A VirtualNetworkChannel multiplexes one NetworkComponent among several
+// "virtual nodes": component subtrees addressed by an id carried in the
+// Address. Each vnode registers its required Network port; the channel
+// installs an indication selector so a vnode only sees messages whose
+// destination vnode matches (vnode 0 registrations receive node-addressed
+// traffic). Requests (outgoing messages) pass through unfiltered.
+//
+// Combined with the NetworkComponent's local reflection, co-hosted vnodes
+// exchange messages through the network port without any serialisation —
+// which is why users must treat received messages as potentially shared
+// objects and keep them immutable (the Kompics philosophy).
+#pragma once
+
+#include <cstdint>
+
+#include "kompics/system.hpp"
+#include "messaging/network_component.hpp"
+
+namespace kmsg::messaging {
+
+class VirtualNetworkChannel {
+ public:
+  /// `network_port` is the NetworkComponent's provided Network port.
+  VirtualNetworkChannel(kompics::KompicsSystem& system,
+                        kompics::PortInstance& network_port)
+      : system_(system), network_port_(network_port) {}
+
+  /// Connects `consumer_port` (a required Network port) so it receives only
+  /// messages addressed to `vnode_id`. Non-Msg indications (delivery
+  /// notifications, network status) are delivered to every vnode.
+  kompics::Channel& register_vnode(std::uint64_t vnode_id,
+                                   kompics::PortInstance& consumer_port);
+
+  /// Connects a consumer that sees *all* inbound messages (e.g. a monitor).
+  kompics::Channel& register_tap(kompics::PortInstance& consumer_port);
+
+ private:
+  kompics::KompicsSystem& system_;
+  kompics::PortInstance& network_port_;
+};
+
+}  // namespace kmsg::messaging

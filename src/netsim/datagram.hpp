@@ -1,0 +1,47 @@
+// Datagrams: the unit the simulated network moves between hosts.
+//
+// The simulator models the IP layer. Transport engines (TCP, UDT, UDP) hand
+// the network datagrams whose `body` is a protocol-specific segment object;
+// the network only cares about addressing and the on-the-wire byte count.
+// Carrying segments as immutable shared objects instead of serialised bytes
+// is the standard simulator trick (cf. ns-3 packet tags): it keeps the
+// protocol headers structured while the byte accounting stays exact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace kmsg::netsim {
+
+using HostId = std::uint32_t;
+using Port = std::uint16_t;
+
+/// IP-level protocol of a datagram. The EC2-style UDP policer keys on this.
+enum class IpProto : std::uint8_t { kTcp, kUdp };
+
+/// Base class for protocol segment payloads.
+struct DatagramBody {
+  virtual ~DatagramBody() = default;
+};
+
+struct Datagram {
+  HostId src = 0;
+  HostId dst = 0;
+  Port src_port = 0;
+  Port dst_port = 0;
+  IpProto proto = IpProto::kUdp;
+  /// Total simulated on-the-wire size (headers + payload), in bytes.
+  std::size_t wire_bytes = 0;
+  std::shared_ptr<const DatagramBody> body;
+};
+
+/// IPv4+transport header overhead assumed for wire-size accounting.
+inline constexpr std::size_t kIpUdpHeaderBytes = 28;
+inline constexpr std::size_t kIpTcpHeaderBytes = 40;
+
+/// Path MTU payload available to transports. EC2 instances within modern
+/// placement use jumbo frames; 8928 keeps segment counts low while staying
+/// below the 9001-byte EC2 jumbo MTU.
+inline constexpr std::size_t kDefaultMtuPayload = 8928;
+
+}  // namespace kmsg::netsim

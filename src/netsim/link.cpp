@@ -1,0 +1,73 @@
+#include "netsim/link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace kmsg::netsim {
+
+Link::Link(sim::Simulator& sim, LinkConfig config, DeliverFn deliver, Rng rng)
+    : sim_(sim),
+      config_(config),
+      deliver_(std::move(deliver)),
+      rng_(rng),
+      tokens_(config.udp_policer ? static_cast<double>(config.udp_policer->burst_bytes) : 0.0),
+      tokens_updated_(sim.now()) {}
+
+bool Link::policer_admit(const Datagram& dg) {
+  if (!config_.udp_policer || dg.proto != IpProto::kUdp) return true;
+  const auto& p = *config_.udp_policer;
+  const Duration elapsed = sim_.now() - tokens_updated_;
+  tokens_ = std::min(static_cast<double>(p.burst_bytes),
+                     tokens_ + elapsed.as_seconds() * p.rate_bytes_per_sec);
+  tokens_updated_ = sim_.now();
+  const auto cost = static_cast<double>(dg.wire_bytes);
+  if (tokens_ < cost) return false;
+  tokens_ -= cost;
+  return true;
+}
+
+void Link::send(const Datagram& dg) {
+  ++stats_.datagrams_sent;
+  if (!policer_admit(dg)) {
+    ++stats_.drops_policer;
+    return;
+  }
+  if (config_.random_loss_rate > 0.0 && rng_.next_bool(config_.random_loss_rate)) {
+    ++stats_.drops_random;
+    return;
+  }
+  if (queued_bytes_ + dg.wire_bytes > config_.queue_capacity_bytes) {
+    ++stats_.drops_queue_full;
+    return;
+  }
+  queue_.push_back(dg);
+  queued_bytes_ += dg.wire_bytes;
+  if (!transmitting_) start_transmission();
+}
+
+void Link::start_transmission() {
+  if (queue_.empty()) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  const Datagram dg = queue_.front();
+  queue_.pop_front();
+  queued_bytes_ -= dg.wire_bytes;
+
+  const Duration tx = Duration::seconds(static_cast<double>(dg.wire_bytes) /
+                                        config_.bandwidth_bytes_per_sec);
+  sim_.schedule_after(tx, [this, dg] {
+    // Serialisation finished: the datagram enters flight; the transmitter is
+    // free for the next queued datagram.
+    const Duration prop = config_.propagation_delay;
+    sim_.schedule_after(prop, [this, dg] {
+      ++stats_.datagrams_delivered;
+      stats_.bytes_delivered += dg.wire_bytes;
+      deliver_(dg);
+    });
+    start_transmission();
+  });
+}
+
+}  // namespace kmsg::netsim

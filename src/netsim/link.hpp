@@ -1,0 +1,77 @@
+// A directed point-to-point link with bandwidth, propagation delay, a finite
+// drop-tail queue, optional random loss, and an optional token-bucket policer
+// applied to UDP traffic (modelling EC2's artificial UDP rate limiting which
+// the paper observed capping UDT at ~10 MB/s).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "netsim/datagram.hpp"
+#include "sim/simulator.hpp"
+
+namespace kmsg::netsim {
+
+struct PolicerConfig {
+  double rate_bytes_per_sec = 10e6;  ///< sustained rate allowed through
+  std::size_t burst_bytes = 256 * 1024;
+};
+
+struct LinkConfig {
+  double bandwidth_bytes_per_sec = 100e6;
+  Duration propagation_delay = Duration::millis(0);
+  std::size_t queue_capacity_bytes = 2 * 1024 * 1024;
+  double random_loss_rate = 0.0;  ///< per-datagram iid loss probability
+  std::optional<PolicerConfig> udp_policer;
+};
+
+struct LinkStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_delivered = 0;
+  std::uint64_t drops_queue_full = 0;
+  std::uint64_t drops_random = 0;
+  std::uint64_t drops_policer = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(const Datagram&)>;
+
+  Link(sim::Simulator& sim, LinkConfig config, DeliverFn deliver, Rng rng);
+
+  /// Offers a datagram to the link; may drop (policer, loss, queue overflow).
+  void send(const Datagram& dg);
+
+  const LinkConfig& config() const { return config_; }
+  const LinkStats& stats() const { return stats_; }
+  std::size_t queued_bytes() const { return queued_bytes_; }
+
+  /// Runtime re-configuration hooks for experiments that vary the
+  /// environment mid-run (e.g. RTT step changes for learner adaptivity).
+  void set_propagation_delay(Duration d) { config_.propagation_delay = d; }
+  void set_random_loss_rate(double p) { config_.random_loss_rate = p; }
+
+ private:
+  void start_transmission();
+  bool policer_admit(const Datagram& dg);
+
+  sim::Simulator& sim_;
+  LinkConfig config_;
+  DeliverFn deliver_;
+  Rng rng_;
+  LinkStats stats_;
+
+  std::deque<Datagram> queue_;
+  std::size_t queued_bytes_ = 0;
+  bool transmitting_ = false;
+
+  // Token bucket state for the UDP policer.
+  double tokens_ = 0.0;
+  TimePoint tokens_updated_ = TimePoint::zero();
+};
+
+}  // namespace kmsg::netsim

@@ -1,0 +1,85 @@
+#include "netsim/network.hpp"
+
+#include "common/logging.hpp"
+
+namespace kmsg::netsim {
+
+sim::Simulator& Host::network_simulator() { return net_.simulator(); }
+
+bool Host::bind(IpProto proto, Port port, Handler handler) {
+  auto [it, inserted] = bindings_.try_emplace({proto, port}, std::move(handler));
+  (void)it;
+  return inserted;
+}
+
+void Host::unbind(IpProto proto, Port port) { bindings_.erase({proto, port}); }
+
+bool Host::bound(IpProto proto, Port port) const {
+  return bindings_.count({proto, port}) > 0;
+}
+
+Port Host::bind_ephemeral(IpProto proto, Handler handler) {
+  for (int attempts = 0; attempts < 16384; ++attempts) {
+    const Port p = next_ephemeral_;
+    next_ephemeral_ = (next_ephemeral_ == 65535) ? 49152 : next_ephemeral_ + 1;
+    if (bind(proto, p, handler)) return p;
+  }
+  KMSG_ERROR("netsim") << "host " << id_ << ": ephemeral port space exhausted";
+  return 0;
+}
+
+void Host::send(Datagram dg) {
+  dg.src = id_;
+  net_.route(dg);
+}
+
+void Host::deliver(const Datagram& dg) {
+  auto it = bindings_.find({dg.proto, dg.dst_port});
+  if (it == bindings_.end()) {
+    KMSG_TRACE("netsim") << "host " << id_ << ": no binding for port "
+                         << dg.dst_port << ", dropping";
+    return;
+  }
+  it->second(dg);
+}
+
+Host& Network::add_host() {
+  const auto id = static_cast<HostId>(hosts_.size());
+  hosts_.emplace_back(std::unique_ptr<Host>(new Host(*this, id)));
+  return *hosts_.back();
+}
+
+Link& Network::add_link(HostId src, HostId dst, LinkConfig config) {
+  auto deliver = [this, dst](const Datagram& dg) { hosts_.at(dst)->deliver(dg); };
+  auto link = std::make_unique<Link>(sim_, config, std::move(deliver), rng_.split());
+  auto& slot = links_[{src, dst}];
+  slot = std::move(link);
+  return *slot;
+}
+
+void Network::add_duplex_link(HostId a, HostId b, const LinkConfig& config) {
+  add_link(a, b, config);
+  if (a != b) add_link(b, a, config);
+}
+
+Link* Network::link(HostId src, HostId dst) {
+  auto it = links_.find({src, dst});
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+const Link* Network::link(HostId src, HostId dst) const {
+  auto it = links_.find({src, dst});
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+void Network::route(const Datagram& dg) {
+  auto* l = link(dg.src, dg.dst);
+  if (l == nullptr) {
+    ++routing_drops_;
+    KMSG_DEBUG("netsim") << "no route " << dg.src << " -> " << dg.dst;
+    return;
+  }
+  l->send(dg);
+}
+
+}  // namespace kmsg::netsim

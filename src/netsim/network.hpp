@@ -1,0 +1,87 @@
+// The simulated internetwork: a set of hosts and the directed links between
+// them. Hosts bind datagram handlers to (proto, port) pairs, exactly like
+// sockets; transports are built on top of this interface.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "netsim/link.hpp"
+
+namespace kmsg::netsim {
+
+class Network;
+
+/// A host's view of the network: bind/unbind handlers and send datagrams.
+class Host {
+ public:
+  using Handler = std::function<void(const Datagram&)>;
+
+  HostId id() const { return id_; }
+
+  /// The simulator driving the network this host belongs to.
+  sim::Simulator& network_simulator();
+
+  /// Binds a handler for datagrams addressed to (proto, port). Returns false
+  /// if the port is already bound for that proto.
+  bool bind(IpProto proto, Port port, Handler handler);
+  void unbind(IpProto proto, Port port);
+  bool bound(IpProto proto, Port port) const;
+
+  /// Picks a free ephemeral port for `proto` and binds it.
+  Port bind_ephemeral(IpProto proto, Handler handler);
+
+  /// Sends a datagram; src is forced to this host.
+  void send(Datagram dg);
+
+ private:
+  friend class Network;
+  Host(Network& net, HostId id) : net_(net), id_(id) {}
+  void deliver(const Datagram& dg);
+
+  Network& net_;
+  HostId id_;
+  std::map<std::pair<IpProto, Port>, Handler> bindings_;
+  Port next_ephemeral_ = 49152;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim, std::uint64_t seed = 42)
+      : sim_(sim), rng_(seed) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+
+  Host& add_host();
+  Host& host(HostId id) { return *hosts_.at(id); }
+  std::size_t host_count() const { return hosts_.size(); }
+
+  /// Adds a directed link src -> dst. Replaces an existing link.
+  Link& add_link(HostId src, HostId dst, LinkConfig config);
+  /// Adds symmetric links in both directions with the same config.
+  void add_duplex_link(HostId a, HostId b, const LinkConfig& config);
+
+  Link* link(HostId src, HostId dst);
+  const Link* link(HostId src, HostId dst) const;
+
+  /// Routes a datagram: looks up the (src,dst) link and offers it. Datagrams
+  /// with no link are counted as routing drops (no implicit connectivity).
+  void route(const Datagram& dg);
+
+  std::uint64_t routing_drops() const { return routing_drops_; }
+
+ private:
+  friend class Host;
+
+  sim::Simulator& sim_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::map<std::pair<HostId, HostId>, std::unique_ptr<Link>> links_;
+  std::uint64_t routing_drops_ = 0;
+};
+
+}  // namespace kmsg::netsim

@@ -1,0 +1,52 @@
+// The four experimental setups of the paper (Fig. 7): pairs of EC2-class
+// hosts at increasing distance. Each setup is expressed as a duplex link
+// configuration; the measured "TCP Pings Only" RTTs in Fig. 8 anchor the
+// propagation delays (0 / ~3 / ~155 / ~320 ms).
+#pragma once
+
+#include <string>
+
+#include "netsim/network.hpp"
+
+namespace kmsg::netsim {
+
+enum class Setup {
+  kLocal,   ///< same node, loopback between two SSDs (RTT ~0)
+  kEuVpc,   ///< same VPC in eu-west (RTT ~3 ms)
+  kEu2Us,   ///< Ireland <-> N. California (RTT ~155 ms)
+  kEu2Au,   ///< Ireland <-> Sydney (RTT ~320 ms)
+};
+
+constexpr const char* to_string(Setup s) {
+  switch (s) {
+    case Setup::kLocal: return "Local";
+    case Setup::kEuVpc: return "EU-VPC";
+    case Setup::kEu2Us: return "EU2US";
+    case Setup::kEu2Au: return "EU2AU";
+  }
+  return "?";
+}
+
+constexpr Setup kAllSetups[] = {Setup::kLocal, Setup::kEuVpc, Setup::kEu2Us,
+                                Setup::kEu2Au};
+
+/// Link parameters for a setup. Bandwidths approximate c3.2xlarge network
+/// performance ("High", ~1 Gbit/s+ sustained; loopback is memory-bound at
+/// ~150 MB/s per the paper's local measurement). All remote setups carry the
+/// EC2 UDP policer at 10 MB/s, which the paper identifies as the cause of
+/// UDT's flat ~10 MB/s profile across real networks.
+LinkConfig link_config_for(Setup setup);
+
+/// Round-trip propagation time of a setup (2x one-way delay).
+Duration rtt_of(Setup setup);
+
+/// Builds a two-host network for the given setup; host 0 is the sender side.
+/// The returned network references `sim` and must not outlive it.
+struct TwoHostWorld {
+  Network net;
+  HostId sender;
+  HostId receiver;
+  TwoHostWorld(sim::Simulator& sim, Setup setup, std::uint64_t seed);
+};
+
+}  // namespace kmsg::netsim

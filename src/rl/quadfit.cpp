@@ -1,0 +1,97 @@
+#include "rl/quadfit.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace kmsg::rl {
+
+std::optional<double> Quadratic::vertex() const {
+  if (a == 0.0) return std::nullopt;
+  return -b / (2.0 * a);
+}
+
+namespace {
+
+/// Solves the 3x3 system M x = v by Gaussian elimination with partial
+/// pivoting. Returns false on (near-)singularity.
+bool solve3(std::array<std::array<double, 3>, 3> m, std::array<double, 3> v,
+            std::array<double, 3>& out) {
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r) {
+      if (std::abs(m[r][col]) > std::abs(m[pivot][col])) pivot = r;
+    }
+    if (std::abs(m[pivot][col]) < 1e-12) return false;
+    std::swap(m[col], m[pivot]);
+    std::swap(v[col], v[pivot]);
+    for (int r = col + 1; r < 3; ++r) {
+      const double f = m[r][col] / m[col][col];
+      for (int c = col; c < 3; ++c) m[r][c] -= f * m[col][c];
+      v[r] -= f * v[col];
+    }
+  }
+  for (int r = 2; r >= 0; --r) {
+    double acc = v[r];
+    for (int c = r + 1; c < 3; ++c) acc -= m[r][c] * out[c];
+    out[r] = acc / m[r][r];
+  }
+  return true;
+}
+
+std::optional<Quadratic> fit_linear_impl(std::span<const double> xs,
+                                         std::span<const double> ys) {
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double det = n * sxx - sx * sx;
+  if (std::abs(det) < 1e-12) {
+    // All x identical: constant through the mean.
+    return Quadratic{0.0, 0.0, ys.empty() ? 0.0 : sy / n};
+  }
+  const double b = (n * sxy - sx * sy) / det;
+  const double c = (sy - b * sx) / n;
+  return Quadratic{0.0, b, c};
+}
+
+}  // namespace
+
+std::optional<Quadratic> fit_line(std::span<const double> xs,
+                                  std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.empty()) return std::nullopt;
+  return fit_linear_impl(xs, ys);
+}
+
+std::optional<Quadratic> fit_quadratic(std::span<const double> xs,
+                                       std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.empty()) return std::nullopt;
+  if (xs.size() == 1) return Quadratic{0.0, 0.0, ys[0]};
+  if (xs.size() == 2) return fit_linear_impl(xs, ys);
+
+  // Normal equations for [a b c] over basis [x^2, x, 1].
+  double s0 = static_cast<double>(xs.size());
+  double s1 = 0, s2 = 0, s3 = 0, s4 = 0;
+  double t0 = 0, t1 = 0, t2 = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double x = xs[i], y = ys[i];
+    const double x2 = x * x;
+    s1 += x;
+    s2 += x2;
+    s3 += x2 * x;
+    s4 += x2 * x2;
+    t0 += y;
+    t1 += x * y;
+    t2 += x2 * y;
+  }
+  std::array<std::array<double, 3>, 3> m{{{s4, s3, s2}, {s3, s2, s1}, {s2, s1, s0}}};
+  std::array<double, 3> v{t2, t1, t0};
+  std::array<double, 3> sol{};
+  if (!solve3(m, v, sol)) return fit_linear_impl(xs, ys);
+  return Quadratic{sol[0], sol[1], sol[2]};
+}
+
+}  // namespace kmsg::rl

@@ -1,0 +1,35 @@
+// Least-squares polynomial fitting for the value-function approximation of
+// paper §IV-C5: the reward over the protocol-ratio axis is assumed to be a
+// quadratic with a single maximum, so observed (state, value) samples are
+// fitted and used to extrapolate values for unexplored states.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+namespace kmsg::rl {
+
+/// y = a*x^2 + b*x + c.
+struct Quadratic {
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+  double operator()(double x) const { return (a * x + b) * x + c; }
+  /// x of the extremum (vertex); nullopt when a == 0 (degenerate/linear).
+  std::optional<double> vertex() const;
+};
+
+/// Fits by least squares. Degrades gracefully with sample count:
+/// >= 3 points -> quadratic, 2 points -> exact line (a = 0), 1 point ->
+/// constant, 0 points -> nullopt. Collinear/degenerate systems fall back to
+/// the lower degree instead of failing.
+std::optional<Quadratic> fit_quadratic(std::span<const double> xs,
+                                       std::span<const double> ys);
+
+/// Least-squares straight line (a = 0 in the Quadratic result); constant
+/// through the mean when all x coincide. nullopt on empty input.
+std::optional<Quadratic> fit_line(std::span<const double> xs,
+                                  std::span<const double> ys);
+
+}  // namespace kmsg::rl

@@ -1,0 +1,101 @@
+#include "rl/sarsa.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kmsg::rl {
+
+SarsaLambda::SarsaLambda(std::unique_ptr<ValueFunction> vf, SarsaConfig config,
+                         Rng rng)
+    : vf_(std::move(vf)),
+      config_(config),
+      rng_(rng),
+      eps_(config.eps_max),
+      trace_(static_cast<std::size_t>(vf_->feature_count()), 0.0) {}
+
+int SarsaLambda::select_action(int state) {
+  const int n_actions = vf_->actions();
+  if (rng_.next_bool(eps_)) {
+    ++explored_;
+    return static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(n_actions)));
+  }
+  // Greedy step. "It makes a random decision if the value is uninitialised"
+  // (paper §IV-C3): actions whose value is still unknown are chosen randomly
+  // before exploitation of known values begins — this is what makes the
+  // matrix learner spend its whole run filling the 55-entry table (Fig. 4)
+  // while the value-approximated learner, whose estimates exist everywhere
+  // after two observations, exploits almost immediately (Fig. 6).
+  int unknown[16];
+  int n_unknown = 0;
+  int best = -1;
+  double best_q = 0.0;
+  for (int a = 0; a < n_actions; ++a) {
+    if (!vf_->has_estimate(state, a)) {
+      if (n_unknown < 16) unknown[n_unknown++] = a;
+      continue;
+    }
+    const double qa = vf_->q(state, a);
+    if (best == -1 || qa > best_q) {
+      best = a;
+      best_q = qa;
+    }
+  }
+  if (n_unknown > 0) {
+    ++explored_;
+    return unknown[rng_.next_below(static_cast<std::uint64_t>(n_unknown))];
+  }
+  ++exploited_;
+  return best;
+}
+
+int SarsaLambda::begin(int s0) {
+  std::fill(trace_.begin(), trace_.end(), 0.0);
+  s_ = s0;
+  a_ = select_action(s0);
+  active_ = true;
+  return a_;
+}
+
+void SarsaLambda::update_sweep(double delta) {
+  const double decay = config_.gamma * config_.lambda;
+  for (std::size_t f = 0; f < trace_.size(); ++f) {
+    auto& e = trace_[f];
+    if (e != 0.0) {
+      vf_->update_feature(static_cast<int>(f), config_.alpha * delta * e);
+      e *= decay;
+      if (e < 1e-9) e = 0.0;
+    }
+  }
+}
+
+int SarsaLambda::step(double reward, int next_state) {
+  assert(active_ && "call begin() before step()");
+  const int na = vf_->actions();
+  const int a_next = select_action(next_state);
+
+  const double q_sa = vf_->has_estimate(s_, a_) ? vf_->q(s_, a_) : 0.0;
+  const double q_next =
+      vf_->has_estimate(next_state, a_next) ? vf_->q(next_state, a_next) : 0.0;
+  const double delta = reward + config_.gamma * q_next - q_sa;
+
+  // Replacing trace in parameter space: e(f) <- 1 for the active parameter.
+  // For the tabular matrix, also clear the same-state sibling entries
+  // (Fig. 3 lines 8-11); with state aggregation those "siblings" are other
+  // genuine states whose eligibility must survive.
+  const int active = vf_->feature_of(s_, a_);
+  if (vf_->clear_sibling_features()) {
+    for (int a = 0; a < na; ++a) {
+      trace_[static_cast<std::size_t>(vf_->feature_of(s_, a))] = 0.0;
+    }
+  }
+  trace_[static_cast<std::size_t>(active)] = 1.0;
+
+  update_sweep(delta);
+
+  s_ = next_state;
+  a_ = a_next;
+  eps_ = std::max(config_.eps_min, eps_ - config_.eps_decay);
+  return a_next;
+}
+
+}  // namespace kmsg::rl

@@ -1,0 +1,69 @@
+// On-policy Sarsa(λ) control with replacing eligibility traces and an
+// ε-greedy policy with linear ε decay — the algorithm of paper Fig. 3,
+// adapted from Sutton & Barto (fig. 7.11), with the paper's replacing-trace
+// choice to keep heavily visited state-action pairs from accumulating
+// disproportionate eligibility.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rl/value_function.hpp"
+
+namespace kmsg::rl {
+
+struct SarsaConfig {
+  double alpha = 0.5;    ///< step size
+  double gamma = 0.5;    ///< discount toward Q(s',a')
+  double lambda = 0.85;  ///< eligibility decay
+  double eps_max = 0.8;  ///< initial exploration rate
+  double eps_min = 0.1;  ///< exploration floor
+  double eps_decay = 0.01;  ///< per-step linear decay of ε
+};
+
+class SarsaLambda {
+ public:
+  SarsaLambda(std::unique_ptr<ValueFunction> vf, SarsaConfig config, Rng rng);
+
+  /// Starts (or restarts) an episode in state s0 and returns the first
+  /// action chosen by the ε-greedy policy.
+  int begin(int s0);
+
+  /// One Sarsa(λ) step: observes reward r for the previous (s, a), moves to
+  /// state s', picks a' via the current policy, applies the eligibility-
+  /// traced update sweep, decays ε, and returns a'.
+  int step(double reward, int next_state);
+
+  double epsilon() const { return eps_; }
+  /// Re-opens exploration (used by non-stationarity detectors upstream).
+  void boost_epsilon(double eps) { eps_ = std::max(eps_, eps); }
+  int current_state() const { return s_; }
+  int current_action() const { return a_; }
+  const ValueFunction& value_function() const { return *vf_; }
+  ValueFunction& value_function() { return *vf_; }
+  std::uint64_t exploration_steps() const { return explored_; }
+  std::uint64_t exploitation_steps() const { return exploited_; }
+
+  /// ε-greedy action selection for `state` (exposed for tests). Greedy picks
+  /// the argmax over actions with a usable estimate, preferring learned
+  /// entries over approximated ones; if nothing usable exists the choice is
+  /// uniformly random (paper §IV-C3).
+  int select_action(int state);
+
+ private:
+  void update_sweep(double delta);
+
+  std::unique_ptr<ValueFunction> vf_;
+  SarsaConfig config_;
+  Rng rng_;
+  double eps_;
+  int s_ = 0;
+  int a_ = 0;
+  bool active_ = false;
+  std::vector<double> trace_;  // eligibility per VF parameter (feature)
+  std::uint64_t explored_ = 0;
+  std::uint64_t exploited_ = 0;
+};
+
+}  // namespace kmsg::rl

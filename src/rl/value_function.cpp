@@ -1,0 +1,79 @@
+#include "rl/value_function.hpp"
+
+#include "rl/quadfit.hpp"
+
+namespace kmsg::rl {
+
+QMatrix::QMatrix(int n_states, int n_actions)
+    : n_states_(n_states),
+      n_actions_(n_actions),
+      q_(static_cast<std::size_t>(n_states) * static_cast<std::size_t>(n_actions), 0.0),
+      known_(q_.size(), false) {}
+
+void QMatrix::update_feature(int f, double delta) {
+  q_[static_cast<std::size_t>(f)] += delta;
+  known_[static_cast<std::size_t>(f)] = true;
+}
+
+ModelV::ModelV(AdditiveModel model)
+    : model_(std::move(model)),
+      v_(static_cast<std::size_t>(model_.states()), 0.0),
+      known_(static_cast<std::size_t>(model_.states()), false) {}
+
+void ModelV::update_feature(int f, double delta) {
+  v_[static_cast<std::size_t>(f)] += delta;
+  known_[static_cast<std::size_t>(f)] = true;
+}
+
+void QuadApproxV::update_feature(int f, double delta) {
+  ModelV::update_feature(f, delta);
+  refit();
+}
+
+void QuadApproxV::refit() {
+  std::vector<double> xs, ys;
+  xs.reserve(v_.size());
+  ys.reserve(v_.size());
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (known_[i]) {
+      xs.push_back(static_cast<double>(i));
+      ys.push_back(v_[i]);
+    }
+  }
+  // The paper's approximation kicks in once at least two values are known.
+  if (xs.size() < 2) {
+    fit_valid_ = false;
+    return;
+  }
+  auto fit = fit_quadratic(xs, ys);
+  if (fit && fit->a > 0.0) {
+    // The paper's assumption is a quadratic with a single *maximum*; a
+    // convex fit violates it (typical with few clustered samples), so fall
+    // back to the linear trend rather than extrapolating upward toward an
+    // unexplored edge.
+    fit = fit_line(xs, ys);
+  }
+  if (!fit) {
+    fit_valid_ = false;
+    return;
+  }
+  fit_a_ = fit->a;
+  fit_b_ = fit->b;
+  fit_c_ = fit->c;
+  fit_valid_ = true;
+}
+
+double QuadApproxV::v_value(int s) const {
+  const auto i = static_cast<std::size_t>(s);
+  // Never use an approximated value where a learned one exists (paper
+  // §IV-C5) — the fit only fills the gaps.
+  if (known_[i]) return v_[i];
+  const double x = static_cast<double>(s);
+  return (fit_a_ * x + fit_b_) * x + fit_c_;
+}
+
+bool QuadApproxV::v_known(int s) const {
+  return known_[static_cast<std::size_t>(s)] || fit_valid_;
+}
+
+}  // namespace kmsg::rl

@@ -1,0 +1,156 @@
+// Action-value function backends for the TD(λ) ratio learner (paper
+// §IV-C3..C5). Three implementations over a discrete state space S and
+// action space A:
+//
+//  - QMatrix:      the default |S|x|A| matrix for Q(s,a). Slow to fill:
+//                  the paper shows it fails to converge in useful time
+//                  (Fig. 4).
+//  - ModelV:       collapses Q into a state-value vector V(s) using the
+//                  domain model M(s,a) = clamp(s+a): Q(s,a) = V(M(s,a)).
+//                  Converges in tens of seconds (Fig. 5).
+//  - QuadApproxV:  ModelV plus least-squares quadratic extrapolation of V
+//                  for unexplored states, under the paper's single-maximum
+//                  reward assumption. Approximated values are only used
+//                  where no learned value exists (Fig. 6).
+//
+// States index a discretised protocol-ratio axis; actions index ratio steps
+// {-2κ..+2κ}. The mapping to actual ratios lives in the adaptive layer; this
+// module is agnostic of the domain apart from the additive model M.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace kmsg::rl {
+
+class ValueFunction {
+ public:
+  virtual ~ValueFunction() = default;
+
+  virtual int states() const = 0;
+  virtual int actions() const = 0;
+
+  /// Current estimate of Q(s,a). Meaningful only if has_estimate(s,a).
+  virtual double q(int s, int a) const = 0;
+  /// True when q(s,a) returns a usable (learned or approximated) value.
+  virtual bool has_estimate(int s, int a) const = 0;
+  /// True when the entry was actually learned from rewards (no
+  /// approximation); the greedy policy prefers learned values.
+  virtual bool learned(int s, int a) const = 0;
+
+  // --- Parameter (feature) view, used by the eligibility traces ---
+  //
+  // Q(s,a) is represented by exactly one underlying parameter (state
+  // aggregation): the full matrix has |S|x|A| parameters, the model-based
+  // variants collapse onto |S|. Sarsa(λ) keeps its traces in parameter
+  // space so aliasing (s,a) pairs cannot multiply the learning rate.
+
+  virtual int feature_count() const = 0;
+  virtual int feature_of(int s, int a) const = 0;
+  /// Applies a TD update to one parameter.
+  virtual void update_feature(int f, double delta) = 0;
+  /// Whether replacing traces should also clear the same-state sibling
+  /// entries (paper Fig. 3 lines 9-11) — meaningful for the tabular matrix;
+  /// with state aggregation siblings are other real states and must keep
+  /// their eligibility.
+  virtual bool clear_sibling_features() const { return false; }
+
+  /// Convenience: update through the (s,a) view.
+  void update(int s, int a, double delta) { update_feature(feature_of(s, a), delta); }
+};
+
+/// The additive transition model of paper §IV-C4: M(s,a) = s + offset(a),
+/// clamped to the state space (edges remap onto themselves).
+class AdditiveModel {
+ public:
+  /// `action_offsets[a]` is the state-index delta of action a.
+  AdditiveModel(int n_states, std::vector<int> action_offsets)
+      : n_states_(n_states), offsets_(std::move(action_offsets)) {}
+
+  int next_state(int s, int a) const {
+    int t = s + offsets_[static_cast<std::size_t>(a)];
+    if (t < 0) t = 0;
+    if (t >= n_states_) t = n_states_ - 1;
+    return t;
+  }
+  int states() const { return n_states_; }
+  int actions() const { return static_cast<int>(offsets_.size()); }
+  int offset(int a) const { return offsets_[static_cast<std::size_t>(a)]; }
+
+ private:
+  int n_states_;
+  std::vector<int> offsets_;
+};
+
+class QMatrix final : public ValueFunction {
+ public:
+  QMatrix(int n_states, int n_actions);
+  int states() const override { return n_states_; }
+  int actions() const override { return n_actions_; }
+  double q(int s, int a) const override { return q_[idx(s, a)]; }
+  bool has_estimate(int s, int a) const override { return known_[idx(s, a)]; }
+  bool learned(int s, int a) const override { return known_[idx(s, a)]; }
+  int feature_count() const override { return n_states_ * n_actions_; }
+  int feature_of(int s, int a) const override { return static_cast<int>(idx(s, a)); }
+  void update_feature(int f, double delta) override;
+  bool clear_sibling_features() const override { return true; }
+
+ private:
+  std::size_t idx(int s, int a) const {
+    return static_cast<std::size_t>(s) * static_cast<std::size_t>(n_actions_) +
+           static_cast<std::size_t>(a);
+  }
+  int n_states_;
+  int n_actions_;
+  std::vector<double> q_;
+  std::vector<bool> known_;
+};
+
+class ModelV : public ValueFunction {
+ public:
+  explicit ModelV(AdditiveModel model);
+  int states() const override { return model_.states(); }
+  int actions() const override { return model_.actions(); }
+  double q(int s, int a) const override { return v_value(model_.next_state(s, a)); }
+  bool has_estimate(int s, int a) const override {
+    return v_known(model_.next_state(s, a));
+  }
+  bool learned(int s, int a) const override {
+    return known_[static_cast<std::size_t>(model_.next_state(s, a))];
+  }
+  int feature_count() const override { return model_.states(); }
+  int feature_of(int s, int a) const override { return model_.next_state(s, a); }
+  void update_feature(int f, double delta) override;
+
+  const AdditiveModel& model() const { return model_; }
+  /// Learned V(s) (0 when unknown); for introspection and tests.
+  double v_raw(int s) const { return v_[static_cast<std::size_t>(s)]; }
+  bool v_learned(int s) const { return known_[static_cast<std::size_t>(s)]; }
+
+ protected:
+  /// Value of state s as seen by q(); overridden by the approximator.
+  virtual double v_value(int s) const { return v_[static_cast<std::size_t>(s)]; }
+  virtual bool v_known(int s) const { return known_[static_cast<std::size_t>(s)]; }
+
+  AdditiveModel model_;
+  std::vector<double> v_;
+  std::vector<bool> known_;
+};
+
+class QuadApproxV final : public ModelV {
+ public:
+  explicit QuadApproxV(AdditiveModel model) : ModelV(std::move(model)) {}
+
+  void update_feature(int f, double delta) override;
+
+ protected:
+  double v_value(int s) const override;
+  bool v_known(int s) const override;
+
+ private:
+  void refit();
+  bool fit_valid_ = false;
+  double fit_a_ = 0.0, fit_b_ = 0.0, fit_c_ = 0.0;
+};
+
+}  // namespace kmsg::rl

@@ -1,0 +1,62 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace kmsg::sim {
+
+EventHandle Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Entry{at, next_seq_++, std::move(fn), flag});
+  return EventHandle{std::move(flag)};
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // const_cast is safe: we pop immediately after moving the closure out,
+    // and the heap ordering does not depend on `fn`.
+    auto& top = const_cast<Entry&>(queue_.top());
+    if (top.cancelled && *top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    now_ = top.at;
+    auto fn = std::move(top.fn);
+    queue_.pop();
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(TimePoint until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    const auto& top = queue_.top();
+    if (top.cancelled && *top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top.at > until) break;
+    if (step()) ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+TimePoint Simulator::next_event_time() const {
+  // Cancelled entries may linger at the top; we cannot pop from a const
+  // method, so report their time — run_until skips them lazily, which only
+  // makes this a conservative (early) bound.
+  if (queue_.empty()) return TimePoint::max();
+  return queue_.top().at;
+}
+
+}  // namespace kmsg::sim

@@ -1,0 +1,88 @@
+// Transport-facing interfaces consumed by the wire/messaging layers.
+//
+// Stream transports (TCP, UDT) expose `StreamConnection`: an ordered,
+// reliable byte pipe with backpressure via finite send buffers — the
+// backpressure is load-bearing for the paper's Fig. 8, where control
+// messages sharing a TCP connection with bulk data queue behind megabytes of
+// buffered stream. UDP exposes `DatagramFlow`: unordered at-most-once
+// messages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace kmsg::transport {
+
+enum class ConnState : std::uint8_t {
+  kConnecting,
+  kEstablished,
+  kClosing,
+  kClosed,
+};
+
+struct ConnStats {
+  std::uint64_t bytes_written = 0;    ///< accepted into the send buffer
+  std::uint64_t bytes_sent_wire = 0;  ///< handed to the network (incl. rexmit)
+  std::uint64_t bytes_acked = 0;      ///< acknowledged by the peer
+  std::uint64_t bytes_delivered = 0;  ///< surrendered to the local receiver
+  std::uint64_t segments_sent = 0;
+  std::uint64_t segments_retransmitted = 0;
+  std::uint64_t timeouts = 0;
+  Duration smoothed_rtt = Duration::zero();
+};
+
+class StreamConnection {
+ public:
+  using DataFn = std::function<void(std::span<const std::uint8_t>)>;
+  using PlainFn = std::function<void()>;
+
+  virtual ~StreamConnection() = default;
+
+  /// Appends bytes to the send buffer; returns how many were accepted
+  /// (possibly 0 when the buffer is full). Never blocks.
+  virtual std::size_t write(std::span<const std::uint8_t> data) = 0;
+
+  /// Free space currently available in the send buffer.
+  virtual std::size_t writable_bytes() const = 0;
+
+  /// Bytes accepted but not yet acknowledged by the peer (send backlog).
+  virtual std::size_t unacked_bytes() const = 0;
+
+  virtual ConnState state() const = 0;
+  virtual const ConnStats& stats() const = 0;
+
+  /// Ordered delivery of received bytes.
+  virtual void set_on_data(DataFn fn) = 0;
+  /// Invoked when a full send buffer regained space.
+  virtual void set_on_writable(PlainFn fn) = 0;
+  /// Invoked once on transition to kEstablished.
+  virtual void set_on_connected(PlainFn fn) = 0;
+  /// Invoked once on transition to kClosed (graceful or reset).
+  virtual void set_on_closed(PlainFn fn) = 0;
+
+  /// Initiates graceful close after pending data drains.
+  virtual void close() = 0;
+  /// Immediate teardown; unsent data is discarded.
+  virtual void abort() = 0;
+};
+
+class DatagramFlow {
+ public:
+  using MessageFn = std::function<void(std::vector<std::uint8_t>)>;
+
+  virtual ~DatagramFlow() = default;
+
+  /// Sends one message (fragmented to MTU as needed). At-most-once: the
+  /// message arrives whole or not at all; ordering is not preserved.
+  /// Returns false if the message was dropped locally (e.g. too large).
+  virtual bool send_message(std::vector<std::uint8_t> payload) = 0;
+
+  virtual void set_on_message(MessageFn fn) = 0;
+  virtual void close() = 0;
+};
+
+}  // namespace kmsg::transport

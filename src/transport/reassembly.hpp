@@ -1,0 +1,56 @@
+// Receiver-side in-order reassembly, shared by the TCP and UDT engines.
+//
+// Out-of-order byte segments are buffered (bounded by a configurable budget —
+// exceeding it drops the segment, which is exactly the receive-buffer overflow
+// the paper hit with UDT's 12 MB default buffers on high-BDP links) and
+// contiguous prefixes are surrendered to the application.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace kmsg::transport {
+
+class ReassemblyBuffer {
+ public:
+  explicit ReassemblyBuffer(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Next byte offset expected in order.
+  std::uint64_t expected() const { return expected_; }
+  /// Bytes currently parked out of order.
+  std::size_t buffered_bytes() const { return buffered_; }
+  std::size_t capacity() const { return capacity_; }
+  /// Space the receiver can still advertise (capacity minus parked bytes).
+  std::size_t available() const {
+    return buffered_ >= capacity_ ? 0 : capacity_ - buffered_;
+  }
+  std::uint64_t drops() const { return drops_; }
+  /// Highest byte offset seen (end of the furthest segment offered),
+  /// including bytes that were dropped for lack of buffer space.
+  std::uint64_t highest_seen() const { return highest_seen_; }
+
+  /// Enumerates the holes in [expected, highest_seen): byte ranges that have
+  /// not been received (or were dropped). At most `max_ranges` are returned.
+  /// This feeds UDT's NAK reports.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> missing_ranges(
+      std::size_t max_ranges) const;
+
+  /// Offers a segment [at, at+data.size()). Returns the (possibly empty)
+  /// newly contiguous bytes that became deliverable, in order. Duplicate and
+  /// overlapping bytes are trimmed; segments that would exceed the buffering
+  /// budget are dropped (counted in drops()).
+  std::vector<std::uint8_t> offer(std::uint64_t at, std::vector<std::uint8_t> data);
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t expected_ = 0;
+  std::size_t buffered_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t highest_seen_ = 0;
+  std::map<std::uint64_t, std::vector<std::uint8_t>> segments_;
+};
+
+}  // namespace kmsg::transport

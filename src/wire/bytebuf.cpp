@@ -1,0 +1,141 @@
+#include "wire/bytebuf.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace kmsg::wire {
+
+void ByteBuf::write_u16(std::uint16_t v) {
+  data_.push_back(static_cast<std::uint8_t>(v >> 8));
+  data_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteBuf::write_u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    data_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteBuf::write_u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    data_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteBuf::write_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u64(bits);
+}
+
+void ByteBuf::write_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    data_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  data_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteBuf::write_bytes(std::span<const std::uint8_t> bytes) {
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteBuf::write_blob(std::span<const std::uint8_t> bytes) {
+  write_varint(bytes.size());
+  write_bytes(bytes);
+}
+
+void ByteBuf::write_string(std::string_view s) {
+  write_varint(s.size());
+  data_.insert(data_.end(), s.begin(), s.end());
+}
+
+void ByteBuf::check_readable(std::size_t n) const {
+  if (readable_bytes() < n) {
+    throw std::out_of_range("ByteBuf: read past end");
+  }
+}
+
+std::uint8_t ByteBuf::read_u8() {
+  check_readable(1);
+  return data_[read_index_++];
+}
+
+std::uint16_t ByteBuf::read_u16() {
+  check_readable(2);
+  std::uint16_t v = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(data_[read_index_]) << 8) |
+      data_[read_index_ + 1]);
+  read_index_ += 2;
+  return v;
+}
+
+std::uint32_t ByteBuf::read_u32() {
+  check_readable(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[read_index_ + i];
+  read_index_ += 4;
+  return v;
+}
+
+std::uint64_t ByteBuf::read_u64() {
+  check_readable(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[read_index_ + i];
+  read_index_ += 8;
+  return v;
+}
+
+double ByteBuf::read_f64() {
+  const std::uint64_t bits = read_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::uint64_t ByteBuf::read_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    check_readable(1);
+    const std::uint8_t b = data_[read_index_++];
+    if (shift >= 64 || (shift == 63 && (b & 0x7e))) {
+      throw std::out_of_range("ByteBuf: varint overflow");
+    }
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) return v;
+    shift += 7;
+  }
+}
+
+std::vector<std::uint8_t> ByteBuf::read_bytes(std::size_t n) {
+  check_readable(n);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(read_index_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(read_index_ + n));
+  read_index_ += n;
+  return out;
+}
+
+std::vector<std::uint8_t> ByteBuf::read_blob() {
+  const std::uint64_t n = read_varint();
+  if (n > readable_bytes()) throw std::out_of_range("ByteBuf: blob truncated");
+  return read_bytes(static_cast<std::size_t>(n));
+}
+
+std::string ByteBuf::read_string() {
+  const std::uint64_t n = read_varint();
+  if (n > readable_bytes()) throw std::out_of_range("ByteBuf: string truncated");
+  check_readable(static_cast<std::size_t>(n));
+  std::string s(reinterpret_cast<const char*>(data_.data() + read_index_),
+                static_cast<std::size_t>(n));
+  read_index_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+void ByteBuf::skip(std::size_t n) {
+  check_readable(n);
+  read_index_ += n;
+}
+
+}  // namespace kmsg::wire

@@ -1,0 +1,74 @@
+// ByteBuf: the serialisation buffer used throughout the wire and messaging
+// layers (the analogue of Netty's ByteBuf, reduced to what the middleware
+// needs). Separate read and write indices over a growable byte vector;
+// big-endian fixed-width integers, LEB128 varints, length-prefixed strings
+// and blobs. All reads are bounds-checked and throw std::out_of_range.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kmsg::wire {
+
+class ByteBuf {
+ public:
+  ByteBuf() = default;
+  explicit ByteBuf(std::vector<std::uint8_t> data) : data_(std::move(data)) {}
+
+  static ByteBuf wrap(std::span<const std::uint8_t> bytes) {
+    return ByteBuf(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+  }
+
+  // --- Writing (appends at the write index / end) ---
+  void write_u8(std::uint8_t v) { data_.push_back(v); }
+  void write_u16(std::uint16_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v) { write_u64(static_cast<std::uint64_t>(v)); }
+  void write_f64(double v);
+  void write_bool(bool v) { write_u8(v ? 1 : 0); }
+  /// Unsigned LEB128.
+  void write_varint(std::uint64_t v);
+  void write_bytes(std::span<const std::uint8_t> bytes);
+  /// varint length + raw bytes.
+  void write_blob(std::span<const std::uint8_t> bytes);
+  void write_string(std::string_view s);
+
+  // --- Reading (consumes from the read index) ---
+  std::uint8_t read_u8();
+  std::uint16_t read_u16();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64() { return static_cast<std::int64_t>(read_u64()); }
+  double read_f64();
+  bool read_bool() { return read_u8() != 0; }
+  std::uint64_t read_varint();
+  std::vector<std::uint8_t> read_bytes(std::size_t n);
+  std::vector<std::uint8_t> read_blob();
+  std::string read_string();
+  void skip(std::size_t n);
+
+  // --- Introspection ---
+  std::size_t readable_bytes() const { return data_.size() - read_index_; }
+  std::size_t size() const { return data_.size(); }
+  bool exhausted() const { return read_index_ >= data_.size(); }
+  std::span<const std::uint8_t> readable_span() const {
+    return {data_.data() + read_index_, readable_bytes()};
+  }
+  std::span<const std::uint8_t> full_span() const { return data_; }
+  /// Relinquishes the underlying storage (whole buffer, not just unread).
+  std::vector<std::uint8_t> take() && { return std::move(data_); }
+  void reset_read_index() { read_index_ = 0; }
+  std::size_t read_index() const { return read_index_; }
+
+ private:
+  void check_readable(std::size_t n) const;
+
+  std::vector<std::uint8_t> data_;
+  std::size_t read_index_ = 0;
+};
+
+}  // namespace kmsg::wire

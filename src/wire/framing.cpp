@@ -1,0 +1,45 @@
+#include "wire/framing.hpp"
+
+#include <cstring>
+
+namespace kmsg::wire {
+
+std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(payload.size() + 4);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(len >> 24));
+  out.push_back(static_cast<std::uint8_t>(len >> 16));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bool FrameDecoder::feed(std::span<const std::uint8_t> chunk) {
+  if (poisoned_) return false;
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+  std::size_t pos = 0;
+  while (buf_.size() - pos >= 4) {
+    const std::size_t len = (static_cast<std::size_t>(buf_[pos]) << 24) |
+                            (static_cast<std::size_t>(buf_[pos + 1]) << 16) |
+                            (static_cast<std::size_t>(buf_[pos + 2]) << 8) |
+                            static_cast<std::size_t>(buf_[pos + 3]);
+    if (len > max_frame_) {
+      poisoned_ = true;
+      return false;
+    }
+    if (buf_.size() - pos - 4 < len) break;
+    std::vector<std::uint8_t> frame(
+        buf_.begin() + static_cast<std::ptrdiff_t>(pos + 4),
+        buf_.begin() + static_cast<std::ptrdiff_t>(pos + 4 + len));
+    pos += 4 + len;
+    ++frames_;
+    if (on_frame_) on_frame_(std::move(frame));
+    if (poisoned_) return false;  // callback may have reset us
+  }
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return true;
+}
+
+}  // namespace kmsg::wire

@@ -1,0 +1,51 @@
+// Length-prefixed framing for stream transports.
+//
+// The messaging layer writes one frame per serialised message into a TCP/UDT
+// byte stream; the decoder re-slices the stream into frames on the receiving
+// side regardless of how the transport segmented it. Frame layout:
+//   u32 big-endian payload length | payload bytes
+// A maximum frame size guards against corrupted-length runaway allocation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace kmsg::wire {
+
+/// Default ceiling mirrors the paper's 65 kB serialisation buffers with
+/// headroom for headers.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 16 * 1024 * 1024;
+
+/// Prepends the length header to a payload (in place, returns new vector).
+std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload);
+
+/// Incremental frame decoder: feed arbitrary stream chunks; complete frames
+/// are emitted through the callback in order.
+class FrameDecoder {
+ public:
+  using FrameFn = std::function<void(std::vector<std::uint8_t>)>;
+
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_(max_frame_bytes) {}
+
+  void set_on_frame(FrameFn fn) { on_frame_ = std::move(fn); }
+
+  /// Consumes a stream chunk. Returns false (and poisons the decoder) if a
+  /// frame header exceeds the size limit — the stream is unrecoverable then.
+  bool feed(std::span<const std::uint8_t> chunk);
+
+  bool poisoned() const { return poisoned_; }
+  std::size_t buffered_bytes() const { return buf_.size(); }
+  std::uint64_t frames_decoded() const { return frames_; }
+
+ private:
+  std::size_t max_frame_;
+  std::vector<std::uint8_t> buf_;
+  bool poisoned_ = false;
+  std::uint64_t frames_ = 0;
+  FrameFn on_frame_;
+};
+
+}  // namespace kmsg::wire

@@ -1,0 +1,65 @@
+#include "wire/pipeline.hpp"
+
+#include "wire/snappy.hpp"
+
+namespace kmsg::wire {
+
+std::vector<std::uint8_t> Pipeline::process_outbound(
+    std::vector<std::uint8_t> payload) const {
+  for (const auto& h : handlers_) {
+    payload = h->encode(std::move(payload));
+  }
+  return payload;
+}
+
+std::optional<std::vector<std::uint8_t>> Pipeline::process_inbound(
+    std::vector<std::uint8_t> payload) const {
+  for (auto it = handlers_.rbegin(); it != handlers_.rend(); ++it) {
+    auto decoded = (*it)->decode(std::move(payload));
+    if (!decoded) return std::nullopt;
+    payload = std::move(*decoded);
+  }
+  return payload;
+}
+
+namespace {
+constexpr std::uint8_t kStoredRaw = 0;
+constexpr std::uint8_t kStoredCompressed = 1;
+}  // namespace
+
+std::vector<std::uint8_t> CompressionHandler::encode(
+    std::vector<std::uint8_t> payload) {
+  bytes_in_ += payload.size();
+  std::vector<std::uint8_t> out;
+  if (payload.size() >= min_size_) {
+    auto compressed = snappy_compress(payload);
+    if (compressed.size() < payload.size()) {
+      out.reserve(compressed.size() + 1);
+      out.push_back(kStoredCompressed);
+      out.insert(out.end(), compressed.begin(), compressed.end());
+      bytes_out_ += out.size();
+      return out;
+    }
+  }
+  out.reserve(payload.size() + 1);
+  out.push_back(kStoredRaw);
+  out.insert(out.end(), payload.begin(), payload.end());
+  bytes_out_ += out.size();
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> CompressionHandler::decode(
+    std::vector<std::uint8_t> payload) {
+  if (payload.empty()) return std::nullopt;
+  const std::uint8_t tag = payload.front();
+  std::span<const std::uint8_t> body{payload.data() + 1, payload.size() - 1};
+  if (tag == kStoredRaw) {
+    return std::vector<std::uint8_t>(body.begin(), body.end());
+  }
+  if (tag == kStoredCompressed) {
+    return snappy_decompress(body);
+  }
+  return std::nullopt;
+}
+
+}  // namespace kmsg::wire

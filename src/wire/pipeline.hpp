@@ -1,0 +1,73 @@
+// Channel handler pipeline (the Netty ChannelPipeline analogue).
+//
+// A pipeline is an ordered chain of symmetric transforms applied to each
+// message payload: outbound traverses head -> tail, inbound tail -> head.
+// The middleware installs a compression handler by default, mirroring the
+// paper's Snappy handler in Netty's channel pipelines; applications can
+// insert their own (e.g. encryption, checksums, tracing).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wire/bytebuf.hpp"
+
+namespace kmsg::wire {
+
+class PipelineHandler {
+ public:
+  virtual ~PipelineHandler() = default;
+  virtual std::string_view name() const = 0;
+  /// Outbound transform. Returns the transformed payload.
+  virtual std::vector<std::uint8_t> encode(std::vector<std::uint8_t> payload) = 0;
+  /// Inbound transform (inverse of encode). std::nullopt poisons the message
+  /// (it is dropped and counted by the caller).
+  virtual std::optional<std::vector<std::uint8_t>> decode(
+      std::vector<std::uint8_t> payload) = 0;
+};
+
+class Pipeline {
+ public:
+  Pipeline() = default;
+
+  void add_last(std::unique_ptr<PipelineHandler> handler) {
+    handlers_.push_back(std::move(handler));
+  }
+
+  std::size_t size() const { return handlers_.size(); }
+  bool empty() const { return handlers_.empty(); }
+
+  std::vector<std::uint8_t> process_outbound(std::vector<std::uint8_t> payload) const;
+  std::optional<std::vector<std::uint8_t>> process_inbound(
+      std::vector<std::uint8_t> payload) const;
+
+ private:
+  std::vector<std::unique_ptr<PipelineHandler>> handlers_;
+};
+
+/// Compression handler using the snappy-like block codec. A 1-byte prefix
+/// records whether the block was stored compressed; incompressible payloads
+/// (compressed size >= original) are stored raw so the handler never inflates
+/// traffic by more than one byte.
+class CompressionHandler final : public PipelineHandler {
+ public:
+  /// Payloads smaller than `min_size` bypass compression entirely.
+  explicit CompressionHandler(std::size_t min_size = 64) : min_size_(min_size) {}
+  std::string_view name() const override { return "snappy"; }
+  std::vector<std::uint8_t> encode(std::vector<std::uint8_t> payload) override;
+  std::optional<std::vector<std::uint8_t>> decode(
+      std::vector<std::uint8_t> payload) override;
+
+  std::uint64_t bytes_in() const { return bytes_in_; }
+  std::uint64_t bytes_out() const { return bytes_out_; }
+
+ private:
+  std::size_t min_size_;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+};
+
+}  // namespace kmsg::wire

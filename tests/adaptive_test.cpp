@@ -1,0 +1,422 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adaptive/prp.hpp"
+#include "adaptive/psp.hpp"
+#include "adaptive/ratio.hpp"
+
+namespace kmsg::adaptive {
+namespace {
+
+using messaging::Transport;
+
+// --- Ratio representations ---
+
+TEST(RatioTest, SignedProbConversions) {
+  EXPECT_DOUBLE_EQ(signed_to_prob(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(signed_to_prob(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(signed_to_prob(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(prob_to_signed(0.25), -0.5);
+  for (double r = -1.0; r <= 1.0; r += 0.125) {
+    EXPECT_NEAR(prob_to_signed(signed_to_prob(r)), r, 1e-12);
+  }
+}
+
+TEST(RatioTest, GridMatchesPaperDiscretisation) {
+  RatioGrid grid(11);  // κ = 1/5
+  EXPECT_NEAR(grid.kappa(), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(grid.state_to_signed(0), -1.0);
+  EXPECT_DOUBLE_EQ(grid.state_to_signed(5), 0.0);
+  EXPECT_DOUBLE_EQ(grid.state_to_signed(10), 1.0);
+  EXPECT_EQ(grid.signed_to_state(-1.0), 0);
+  EXPECT_EQ(grid.signed_to_state(0.0), 5);
+  EXPECT_EQ(grid.signed_to_state(1.0), 10);
+  EXPECT_EQ(grid.signed_to_state(0.09), 5);   // rounds to nearest
+  EXPECT_EQ(grid.signed_to_state(0.11), 6);
+  EXPECT_EQ(grid.signed_to_state(-7.0), 0);   // clamps
+  EXPECT_EQ(grid.signed_to_state(7.0), 10);
+}
+
+TEST(RatioTest, RationalFromProb) {
+  auto r = prob_to_rational(0.25, 100);
+  EXPECT_EQ(r.minority, Transport::kUdt);
+  EXPECT_EQ(r.p, 1u);
+  EXPECT_EQ(r.q, 3u);
+  EXPECT_NEAR(r.prob_udt(), 0.25, 1e-12);
+
+  auto r2 = prob_to_rational(0.75, 100);
+  EXPECT_EQ(r2.minority, Transport::kTcp);
+  EXPECT_EQ(r2.p, 1u);
+  EXPECT_EQ(r2.q, 3u);
+  EXPECT_NEAR(r2.prob_udt(), 0.75, 1e-12);
+
+  auto fifty = prob_to_rational(0.5, 100);
+  EXPECT_EQ(fifty.p, 1u);
+  EXPECT_EQ(fifty.q, 1u);
+}
+
+TEST(RatioTest, PureRatios) {
+  auto tcp_only = prob_to_rational(0.0);
+  EXPECT_EQ(tcp_only.p, 0u);
+  EXPECT_EQ(tcp_only.majority, Transport::kTcp);
+  EXPECT_DOUBLE_EQ(tcp_only.prob_udt(), 0.0);
+  auto udt_only = prob_to_rational(1.0);
+  EXPECT_EQ(udt_only.p, 0u);
+  EXPECT_EQ(udt_only.majority, Transport::kUdt);
+  EXPECT_DOUBLE_EQ(udt_only.prob_udt(), 1.0);
+}
+
+TEST(RatioTest, PaperExampleThreeHundredths) {
+  // The paper's r = 3/100 example: 3 UDT per 97 TCP.
+  auto r = prob_to_rational(0.03, 100);
+  EXPECT_EQ(r.p, 3u);
+  EXPECT_EQ(r.q, 97u);
+  EXPECT_EQ(r.minority, Transport::kUdt);
+}
+
+// --- Pattern construction (paper §IV-B3/B4) ---
+
+double udt_fraction(const std::vector<Transport>& pattern) {
+  std::size_t udt = 0;
+  for (auto t : pattern) {
+    if (t == Transport::kUdt) ++udt;
+  }
+  return static_cast<double>(udt) / static_cast<double>(pattern.size());
+}
+
+/// Maximum deviation of any prefix from the target fraction, in messages.
+double max_prefix_skew(const std::vector<Transport>& pattern, double target) {
+  double max_dev = 0.0;
+  double udt = 0;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i] == Transport::kUdt) udt += 1.0;
+    const double expected = target * static_cast<double>(i + 1);
+    max_dev = std::max(max_dev, std::abs(udt - expected));
+  }
+  return max_dev;
+}
+
+TEST(PatternTest, FiftyFiftyAlternates) {
+  auto p = build_pattern(prob_to_rational(0.5));
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NE(p[0], p[1]);
+}
+
+TEST(PatternTest, OneThirdPattern) {
+  // r = 1/3 (1 UDT per 3 TCP): pattern like (pppu) with b = 3, c = 0.
+  auto p = build_pattern(prob_to_rational(0.25));
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_NEAR(udt_fraction(p), 0.25, 1e-12);
+}
+
+TEST(PatternTest, FullPatternHasExactRatio) {
+  // Property over the whole κ and finer grids: a complete pattern run hits
+  // the target exactly (paper requirement (b)).
+  for (int pct = 0; pct <= 100; ++pct) {
+    const double target = pct / 100.0;
+    auto rr = prob_to_rational(target, 100);
+    auto p = build_pattern(rr);
+    ASSERT_FALSE(p.empty());
+    EXPECT_NEAR(udt_fraction(p), target, 1e-9) << "target " << target;
+  }
+}
+
+TEST(PatternTest, PrefixDeviationBoundedByLongestRun) {
+  // Property (a): the running count never strays from the target by more
+  // than the longest single-protocol run plus one. The paper's p/p+1
+  // patterns concentrate their irregularity in the Q-tail (they note a
+  // better spreading is possible), so the run length is the right bound —
+  // not the block size.
+  for (int pct = 1; pct < 100; ++pct) {
+    const double target = pct / 100.0;
+    auto rr = prob_to_rational(target, 100);
+    auto p = build_pattern(rr);
+    std::size_t longest_run = 1, run = 1;
+    for (std::size_t i = 1; i < p.size(); ++i) {
+      run = (p[i] == p[i - 1]) ? run + 1 : 1;
+      longest_run = std::max(longest_run, run);
+    }
+    EXPECT_LE(max_prefix_skew(p, target), static_cast<double>(longest_run) + 1.0)
+        << "target " << target;
+  }
+}
+
+// --- Selection policies ---
+
+TEST(PspTest, RandomSelectionApproachesTargetInLaw) {
+  RandomSelection psp{Rng(3)};
+  psp.set_ratio(0.3);
+  int udt = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (psp.next() == Transport::kUdt) ++udt;
+  }
+  EXPECT_NEAR(static_cast<double>(udt) / n, 0.3, 0.01);
+}
+
+TEST(PspTest, RandomShortWindowSkewLarge) {
+  // Fig. 1's point: over 16-message windows the Bernoulli policy can be far
+  // off target, while the pattern policy stays tight.
+  auto short_window_worst = [](ProtocolSelectionPolicy& psp, double target) {
+    psp.set_ratio(target);
+    double worst = 0.0;
+    for (int w = 0; w < 2000; ++w) {
+      int udt = 0;
+      for (int i = 0; i < 16; ++i) {
+        if (psp.next() == Transport::kUdt) ++udt;
+      }
+      worst = std::max(worst, std::abs(udt / 16.0 - target));
+    }
+    return worst;
+  };
+  RandomSelection random{Rng(7)};
+  PatternSelection pattern;
+  const double rand_worst = short_window_worst(random, 0.5);
+  const double pat_worst = short_window_worst(pattern, 0.5);
+  EXPECT_GT(rand_worst, 0.2);   // Bernoulli: large short-run skew
+  EXPECT_LE(pat_worst, 0.1);    // pattern: tight
+}
+
+TEST(PspTest, PatternSelectionExactOverFullCycles) {
+  PatternSelection psp;
+  psp.set_ratio(0.2);  // 1 UDT per 4 TCP, cycle length 5
+  int udt = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (psp.next() == Transport::kUdt) ++udt;
+  }
+  EXPECT_EQ(udt, 1000);
+}
+
+TEST(PspTest, PatternHandlesPureRatios) {
+  PatternSelection psp;
+  psp.set_ratio(0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(psp.next(), Transport::kTcp);
+  psp.set_ratio(1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(psp.next(), Transport::kUdt);
+}
+
+TEST(PspTest, PatternSurvivesRapidRatioChanges) {
+  PatternSelection psp;
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    psp.set_ratio(rng.next_double());
+    psp.next();  // must never crash or loop
+  }
+  SUCCEED();
+}
+
+TEST(PspTest, SpreadSelectionEvenlyDistributes) {
+  SpreadPatternSelection psp;
+  psp.set_ratio(0.25);
+  std::vector<Transport> seq;
+  for (int i = 0; i < 16; ++i) seq.push_back(psp.next());
+  int udt = 0;
+  for (auto t : seq) {
+    if (t == Transport::kUdt) ++udt;
+  }
+  EXPECT_EQ(udt, 4);
+  // No two UDT picks adjacent at this ratio.
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    EXPECT_FALSE(seq[i] == Transport::kUdt && seq[i - 1] == Transport::kUdt);
+  }
+}
+
+TEST(PspTest, SpreadBeatsPlainPatternOnAwkwardRatios) {
+  // Paper §IV-B4: at r = 3/100 the block pattern has long majority runs; a
+  // well-spread pattern should have lower short-window skew.
+  auto worst16 = [](ProtocolSelectionPolicy& psp) {
+    double worst = 0.0;
+    for (int w = 0; w < 500; ++w) {
+      int udt = 0;
+      for (int i = 0; i < 16; ++i) {
+        if (psp.next() == Transport::kUdt) ++udt;
+      }
+      worst = std::max(worst, std::abs(udt / 16.0 - 0.03));
+    }
+    return worst;
+  };
+  PatternSelection pattern;
+  pattern.set_ratio(0.03);
+  SpreadPatternSelection spread;
+  spread.set_ratio(0.03);
+  EXPECT_LE(worst16(spread), worst16(pattern) + 1e-9);
+}
+
+TEST(PspTest, FactoryProducesAllKinds) {
+  EXPECT_STREQ(make_psp(PspKind::kRandom, Rng(1))->name(), "random");
+  EXPECT_STREQ(make_psp(PspKind::kPattern, Rng(1))->name(), "pattern");
+  EXPECT_STREQ(make_psp(PspKind::kSpread, Rng(1))->name(), "spread");
+}
+
+// --- Ratio policies ---
+
+TEST(PrpTest, StaticRatioConstant) {
+  StaticRatio prp(0.3);
+  EXPECT_DOUBLE_EQ(prp.begin(0.9), 0.3);
+  EpisodeStats stats;
+  stats.throughput_bps = 1e6;
+  EXPECT_DOUBLE_EQ(prp.update(stats), 0.3);
+}
+
+EpisodeStats stats_for(double throughput) {
+  EpisodeStats s;
+  s.length = Duration::seconds(1.0);
+  s.throughput_bps = throughput;
+  s.bytes_acked = static_cast<std::uint64_t>(throughput);
+  return s;
+}
+
+/// Environment where TCP is strictly better (like the paper's VPC setup):
+/// throughput falls linearly with the UDT share.
+double tcp_favoured_env(double prob_udt) {
+  return 100e6 * (1.0 - prob_udt) + 10e6 * prob_udt;
+}
+
+TEST(PrpTest, ModelLearnerConvergesTowardsTcp) {
+  int wins = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    TDRatioLearner prp(model_learner_defaults(VfKind::kModel), Rng(seed));
+    double prob = prp.begin(0.5);
+    for (int ep = 0; ep < 200; ++ep) {
+      prob = prp.update(stats_for(tcp_favoured_env(prob)));
+    }
+    if (prob <= 0.2) ++wins;  // near TCP-only
+  }
+  EXPECT_GE(wins, 7);
+}
+
+TEST(PrpTest, QuadApproxConvergesFasterThanMatrix) {
+  auto final_prob = [](PrpKind kind, std::uint64_t seed, int episodes) {
+    auto prp = make_prp(kind, 0.5, Rng(seed));
+    double prob = prp->begin(0.5);
+    for (int ep = 0; ep < episodes; ++ep) {
+      prob = prp->update(stats_for(tcp_favoured_env(prob)));
+    }
+    return prob;
+  };
+  // Paper Figs. 4 vs 6: after ~40 episodes the approximated learner should
+  // be near the optimum much more reliably than the matrix learner.
+  int approx_good = 0, matrix_good = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    if (final_prob(PrpKind::kTdQuadApprox, seed, 40) <= 0.2) ++approx_good;
+    if (final_prob(PrpKind::kTdMatrix, seed, 40) <= 0.2) ++matrix_good;
+  }
+  EXPECT_GT(approx_good, matrix_good);
+}
+
+TEST(PrpTest, LearnerTracksEnvironmentChange) {
+  // UDT becomes the better protocol mid-run (like an RTT jump); with the
+  // ε floor the learner must migrate.
+  TDRatioLearner prp(model_learner_defaults(VfKind::kModel), Rng(11));
+  double prob = prp.begin(0.5);
+  for (int ep = 0; ep < 150; ++ep) {
+    prob = prp.update(stats_for(tcp_favoured_env(prob)));
+  }
+  EXPECT_LE(prob, 0.3);
+  // Flip: UDT now 10x better.
+  auto udt_favoured = [](double p) { return 10e6 * (1.0 - p) + 100e6 * p; };
+  double late = prob;
+  for (int ep = 0; ep < 600; ++ep) {
+    late = prp.update(stats_for(udt_favoured(late)));
+  }
+  EXPECT_GE(late, 0.5);
+}
+
+TEST(PrpTest, ChangeDetectionReopensExploration) {
+  // Extension: a sustained reward collapse re-boosts ε so the learner can
+  // migrate after an environment change (documented in TDRatioConfig).
+  TDRatioConfig cfg = model_learner_defaults(VfKind::kModel);
+  cfg.change_episodes = 5;
+  cfg.change_ratio = 0.4;
+  cfg.change_eps = 0.6;
+  TDRatioLearner prp(cfg, Rng(2));
+  double prob = prp.begin(0.5);
+  for (int ep = 0; ep < 100; ++ep) {
+    prob = prp.update(stats_for(tcp_favoured_env(prob)));
+  }
+  EXPECT_DOUBLE_EQ(prp.epsilon(), cfg.sarsa.eps_min);  // fully annealed
+  // Reward regime collapses (e.g. RTT jump): 90% loss of throughput.
+  for (int ep = 0; ep < 6; ++ep) {
+    prob = prp.update(stats_for(tcp_favoured_env(prob) * 0.05));
+  }
+  EXPECT_GE(prp.epsilon(), 0.5);  // exploration re-opened
+}
+
+TEST(PrpTest, ChangeDetectionDisabled) {
+  TDRatioConfig cfg = model_learner_defaults(VfKind::kModel);
+  cfg.change_episodes = 0;  // paper-exact behaviour
+  TDRatioLearner prp(cfg, Rng(2));
+  double prob = prp.begin(0.5);
+  for (int ep = 0; ep < 100; ++ep) {
+    prob = prp.update(stats_for(tcp_favoured_env(prob)));
+  }
+  for (int ep = 0; ep < 20; ++ep) {
+    prob = prp.update(stats_for(tcp_favoured_env(prob) * 0.05));
+  }
+  EXPECT_DOUBLE_EQ(prp.epsilon(), cfg.sarsa.eps_min);  // stays annealed
+}
+
+TEST(PrpTest, LearnerMigratesAfterRegimeFlip) {
+  // End-to-end on the synthetic environment: TCP-favoured then UDT-favoured.
+  auto udt_favoured = [](double p) { return 10e6 * (1.0 - p) + 100e6 * p; };
+  int migrated = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    TDRatioLearner prp(model_learner_defaults(VfKind::kQuadApprox), Rng(seed));
+    double prob = prp.begin(0.5);
+    for (int ep = 0; ep < 120; ++ep) {
+      prob = prp.update(stats_for(tcp_favoured_env(prob)));
+    }
+    for (int ep = 0; ep < 200; ++ep) {
+      prob = prp.update(stats_for(udt_favoured(prob)));
+    }
+    if (prob >= 0.7) ++migrated;
+  }
+  EXPECT_GE(migrated, 7);
+}
+
+TEST(PrpTest, LatencyPenaltyShapesReward) {
+  TDRatioConfig cfg = model_learner_defaults(VfKind::kModel);
+  cfg.latency_penalty_per_ms = 0.01;
+  TDRatioLearner prp(cfg, Rng(3));
+  prp.begin(0.5);
+  EpisodeStats fast = stats_for(50e6);
+  fast.avg_rtt_ms = 1.0;
+  EpisodeStats slow = stats_for(50e6);
+  slow.avg_rtt_ms = 500.0;
+  // Indirect check: both updates must be accepted and produce valid probs.
+  const double p1 = prp.update(fast);
+  const double p2 = prp.update(slow);
+  EXPECT_GE(p1, 0.0);
+  EXPECT_LE(p1, 1.0);
+  EXPECT_GE(p2, 0.0);
+  EXPECT_LE(p2, 1.0);
+}
+
+TEST(PrpTest, PaperParameterDefaults) {
+  const auto cfg = matrix_learner_defaults();
+  EXPECT_DOUBLE_EQ(cfg.sarsa.alpha, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.sarsa.gamma, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.sarsa.lambda, 0.85);
+  EXPECT_DOUBLE_EQ(cfg.sarsa.eps_max, 0.8);
+  EXPECT_DOUBLE_EQ(cfg.sarsa.eps_min, 0.1);
+  EXPECT_DOUBLE_EQ(cfg.sarsa.eps_decay, 0.01);
+  EXPECT_EQ(cfg.n_states, 11);
+  EXPECT_EQ(cfg.action_offsets, (std::vector<int>{-2, -1, 0, 1, 2}));
+  EXPECT_DOUBLE_EQ(model_learner_defaults().sarsa.eps_max, 0.3);
+}
+
+TEST(PrpTest, TargetsStayOnGrid) {
+  TDRatioLearner prp(model_learner_defaults(VfKind::kQuadApprox), Rng(8));
+  double prob = prp.begin(0.5);
+  RatioGrid grid(11);
+  for (int ep = 0; ep < 100; ++ep) {
+    // Every target must be exactly one of the 11 grid probabilities.
+    const int s = grid.prob_to_state(prob);
+    EXPECT_NEAR(grid.state_to_prob(s), prob, 1e-9);
+    prob = prp.update(stats_for(tcp_favoured_env(prob)));
+  }
+}
+
+}  // namespace
+}  // namespace kmsg::adaptive

@@ -1,0 +1,151 @@
+// Tests for the ReliableChannel: exactly-once delivery built on the
+// middleware's at-most-once semantics (the application-level resending the
+// paper prescribes in §III-B), exercised over lossy UDP where the base
+// layer genuinely drops messages.
+#include <gtest/gtest.h>
+
+#include "apps/experiment.hpp"
+#include "apps/messages.hpp"
+#include "messaging/reliable.hpp"
+
+namespace kmsg::messaging {
+namespace {
+
+using apps::PingMsg;
+
+class Endpoint final : public kompics::ComponentDefinition {
+ public:
+  void setup() override {
+    net_ = &require<Network>();
+    subscribe<PingMsg>(*net_, [this](const PingMsg& p) {
+      received.push_back(p.seq());
+    });
+  }
+  kompics::PortInstance& network() { return *net_; }
+  void send(MsgPtr m) { trigger(std::move(m), *net_); }
+  std::vector<std::uint64_t> received;
+
+ private:
+  kompics::PortInstance* net_ = nullptr;
+};
+
+struct ReliableFixture : ::testing::Test {
+  std::unique_ptr<apps::TwoNodeExperiment> exp;
+  ReliableChannel* rc_a = nullptr;
+  ReliableChannel* rc_b = nullptr;
+  Endpoint* ep_a = nullptr;
+  Endpoint* ep_b = nullptr;
+
+  void build(double loss_rate, Duration rto = Duration::millis(200)) {
+    apps::ExperimentConfig cfg;
+    cfg.setup = netsim::Setup::kEuVpc;
+    if (loss_rate > 0.0) {
+      auto link = netsim::link_config_for(netsim::Setup::kEuVpc);
+      link.random_loss_rate = loss_rate;
+      cfg.link_override = link;
+    }
+    exp = std::make_unique<apps::TwoNodeExperiment>(cfg);
+    register_reliable_serializers(*exp->registry());
+
+    ReliableConfig rcfg_a{exp->addr_a(), rto, 50, Transport::kUdp};
+    ReliableConfig rcfg_b{exp->addr_b(), rto, 50, Transport::kUdp};
+    rc_a = &exp->system().create<ReliableChannel>("rc_a", rcfg_a, exp->registry());
+    rc_b = &exp->system().create<ReliableChannel>("rc_b", rcfg_b, exp->registry());
+    exp->connect_a(rc_a->network_port());
+    exp->connect_b(rc_b->network_port());
+
+    ep_a = &exp->system().create<Endpoint>("ep_a");
+    ep_b = &exp->system().create<Endpoint>("ep_b");
+    exp->system().connect(rc_a->consumer_port(), ep_a->network());
+    exp->system().connect(rc_b->consumer_port(), ep_b->network());
+    exp->start();
+  }
+
+  MsgPtr ping(std::uint64_t seq) {
+    BasicHeader h{exp->addr_a(), exp->addr_b(), Transport::kUdp};
+    return kompics::make_event<PingMsg>(h, seq, 0);
+  }
+};
+
+TEST_F(ReliableFixture, DeliversWithoutLoss) {
+  build(0.0);
+  for (std::uint64_t i = 1; i <= 20; ++i) ep_a->send(ping(i));
+  exp->run_for(Duration::seconds(2.0));
+  ASSERT_EQ(ep_b->received.size(), 20u);
+  EXPECT_EQ(rc_a->reliable_stats().retransmitted, 0u);
+  EXPECT_EQ(rc_a->reliable_stats().acked, 20u);
+}
+
+TEST_F(ReliableFixture, ExactlyOnceUnderHeavyUdpLoss) {
+  // 30% datagram loss: plain UDP messaging would lose roughly a third of
+  // these; the reliable channel must deliver all of them exactly once.
+  build(0.3);
+  const std::uint64_t n = 50;
+  for (std::uint64_t i = 1; i <= n; ++i) ep_a->send(ping(i));
+  exp->run_for(Duration::seconds(30.0));
+
+  ASSERT_EQ(ep_b->received.size(), n);
+  std::set<std::uint64_t> unique(ep_b->received.begin(), ep_b->received.end());
+  EXPECT_EQ(unique.size(), n);  // no duplicates reached the consumer
+  EXPECT_GT(rc_a->reliable_stats().retransmitted, 0u);
+  EXPECT_EQ(rc_a->reliable_stats().gave_up, 0u);
+}
+
+TEST_F(ReliableFixture, DuplicatesSuppressedAtReceiver) {
+  build(0.3);
+  for (std::uint64_t i = 1; i <= 30; ++i) ep_a->send(ping(i));
+  exp->run_for(Duration::seconds(30.0));
+  // Retransmissions of already-delivered messages must be counted as
+  // suppressed duplicates, not re-delivered.
+  if (rc_a->reliable_stats().retransmitted > 0) {
+    EXPECT_EQ(ep_b->received.size(), 30u);
+  }
+  EXPECT_EQ(rc_b->reliable_stats().delivered, 30u);
+}
+
+TEST_F(ReliableFixture, UnmanagedTrafficPassesThrough) {
+  build(0.0);
+  // TransferCompleteMsg is serialisable, so it gets reliability too; but a
+  // reply from B to A exercises the reverse direction pass-through paths.
+  BasicHeader h{exp->addr_b(), exp->addr_a(), Transport::kTcp};
+  ep_b->send(kompics::make_event<PingMsg>(h, 99, 0));
+  exp->run_for(Duration::seconds(2.0));
+  ASSERT_EQ(ep_a->received.size(), 1u);
+  EXPECT_EQ(ep_a->received[0], 99u);
+}
+
+TEST_F(ReliableFixture, GivesUpAfterMaxRetries) {
+  // Break the path entirely after start: retransmissions must stop.
+  build(0.0, Duration::millis(100));
+  exp->run_for(Duration::millis(100));
+  // Replace both link directions with 100% loss.
+  auto dead = netsim::link_config_for(netsim::Setup::kEuVpc);
+  dead.random_loss_rate = 1.0;
+  exp->network().add_duplex_link(exp->addr_a().host, exp->addr_b().host, dead);
+  ep_a->send(ping(1));
+  exp->run_for(Duration::seconds(60.0));
+  EXPECT_EQ(ep_b->received.size(), 0u);
+  EXPECT_EQ(rc_a->reliable_stats().gave_up, 1u);
+  // No pending timers keep firing after give-up: simulator should go quiet
+  // apart from periodic status ticks (bounded check: retransmit count).
+  const auto rexmit = rc_a->reliable_stats().retransmitted;
+  EXPECT_LE(rexmit, 51u);
+}
+
+TEST_F(ReliableFixture, FifoRestoredOverUdp) {
+  // UDP gives no ordering; cumulative-seq delivery in this layer does not
+  // reorder either (it delivers on arrival), but sequence numbers let the
+  // consumer detect gaps: verify every message arrives despite loss, and
+  // that the delivered set is exactly 1..n.
+  build(0.25);
+  const std::uint64_t n = 40;
+  for (std::uint64_t i = 1; i <= n; ++i) ep_a->send(ping(i));
+  exp->run_for(Duration::seconds(30.0));
+  std::set<std::uint64_t> got(ep_b->received.begin(), ep_b->received.end());
+  ASSERT_EQ(got.size(), n);
+  EXPECT_EQ(*got.begin(), 1u);
+  EXPECT_EQ(*got.rbegin(), n);
+}
+
+}  // namespace
+}  // namespace kmsg::messaging

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace kmsg::sim {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::millis(30), [&] { order.push_back(3); });
+  sim.schedule_after(Duration::millis(10), [&] { order.push_back(1); });
+  sim.schedule_after(Duration::millis(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().as_nanos(), Duration::millis(30).as_nanos());
+}
+
+TEST(SimulatorTest, SameTimeFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(Duration::millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, NestedSchedulingAdvancesClock) {
+  Simulator sim;
+  TimePoint inner_time;
+  sim.schedule_after(Duration::millis(1), [&] {
+    sim.schedule_after(Duration::millis(2), [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_time.as_nanos(), Duration::millis(3).as_nanos());
+}
+
+TEST(SimulatorTest, SchedulingInPastClampsToNow) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_after(Duration::millis(5), [&] {
+    sim.schedule_at(TimePoint::zero(), [&] {
+      ran = true;
+      EXPECT_EQ(sim.now().as_nanos(), Duration::millis(5).as_nanos());
+    });
+  });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  auto h = sim.schedule_after(Duration::millis(1), [&] { ran = true; });
+  h.cancel();
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(h.cancelled());
+}
+
+TEST(SimulatorTest, CancelAfterRunIsNoop) {
+  Simulator sim;
+  int count = 0;
+  auto h = sim.schedule_after(Duration::millis(1), [&] { ++count; });
+  sim.run();
+  h.cancel();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SimulatorTest, RunUntilStopsAndAdvances) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::millis(10), [&] { order.push_back(1); });
+  sim.schedule_after(Duration::millis(30), [&] { order.push_back(2); });
+  sim.run_until(TimePoint::zero() + Duration::millis(20));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sim.now().as_nanos(), Duration::millis(20).as_nanos());
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, RunUntilInclusiveOfBoundary) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_after(Duration::millis(10), [&] { ran = true; });
+  sim.run_until(TimePoint::zero() + Duration::millis(10));
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, StepSingleEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_after(Duration::millis(1), [&] { ++count; });
+  sim.schedule_after(Duration::millis(2), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, IdleAndPending) {
+  Simulator sim;
+  EXPECT_TRUE(sim.idle());
+  sim.schedule_after(Duration::millis(1), [] {});
+  EXPECT_FALSE(sim.idle());
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(SimulatorTest, NextEventTime) {
+  Simulator sim;
+  EXPECT_EQ(sim.next_event_time(), TimePoint::max());
+  sim.schedule_after(Duration::millis(7), [] {});
+  EXPECT_EQ(sim.next_event_time().as_nanos(), Duration::millis(7).as_nanos());
+}
+
+TEST(SimulatorTest, ManyEventsStressDeterminism) {
+  auto run = [] {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_after(Duration::micros(i % 97), [&order, i] {
+        order.push_back(i);
+      });
+    }
+    sim.run();
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace kmsg::sim

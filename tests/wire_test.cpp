@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "wire/bytebuf.hpp"
+#include "wire/framing.hpp"
+#include "wire/pipeline.hpp"
+#include "wire/snappy.hpp"
+
+namespace kmsg::wire {
+namespace {
+
+// --- ByteBuf ---
+
+TEST(ByteBufTest, PrimitiveRoundTrip) {
+  ByteBuf buf;
+  buf.write_u8(0xAB);
+  buf.write_u16(0x1234);
+  buf.write_u32(0xDEADBEEF);
+  buf.write_u64(0x0123456789ABCDEFULL);
+  buf.write_i64(-42);
+  buf.write_f64(3.14159);
+  buf.write_bool(true);
+  EXPECT_EQ(buf.read_u8(), 0xAB);
+  EXPECT_EQ(buf.read_u16(), 0x1234);
+  EXPECT_EQ(buf.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(buf.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(buf.read_i64(), -42);
+  EXPECT_DOUBLE_EQ(buf.read_f64(), 3.14159);
+  EXPECT_TRUE(buf.read_bool());
+  EXPECT_TRUE(buf.exhausted());
+}
+
+TEST(ByteBufTest, BigEndianLayout) {
+  ByteBuf buf;
+  buf.write_u32(0x01020304);
+  auto span = buf.full_span();
+  EXPECT_EQ(span[0], 0x01);
+  EXPECT_EQ(span[3], 0x04);
+}
+
+TEST(ByteBufTest, VarintRoundTrip) {
+  ByteBuf buf;
+  const std::uint64_t values[] = {0, 1, 127, 128, 300, 16383, 16384,
+                                  0xFFFFFFFFull, ~0ull};
+  for (auto v : values) buf.write_varint(v);
+  for (auto v : values) EXPECT_EQ(buf.read_varint(), v);
+}
+
+TEST(ByteBufTest, VarintCompactness) {
+  ByteBuf buf;
+  buf.write_varint(127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.write_varint(128);
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(ByteBufTest, StringAndBlob) {
+  ByteBuf buf;
+  buf.write_string("hello kompics");
+  std::vector<std::uint8_t> blob{1, 2, 3, 4};
+  buf.write_blob(blob);
+  EXPECT_EQ(buf.read_string(), "hello kompics");
+  EXPECT_EQ(buf.read_blob(), blob);
+}
+
+TEST(ByteBufTest, ReadPastEndThrows) {
+  ByteBuf buf;
+  buf.write_u16(7);
+  buf.read_u8();
+  EXPECT_THROW(buf.read_u32(), std::out_of_range);
+  EXPECT_THROW(buf.read_u16(), std::out_of_range);
+  EXPECT_NO_THROW(buf.read_u8());
+}
+
+TEST(ByteBufTest, TruncatedBlobThrows) {
+  ByteBuf buf;
+  buf.write_varint(100);  // claims 100 bytes, none present
+  EXPECT_THROW(buf.read_blob(), std::out_of_range);
+}
+
+TEST(ByteBufTest, SkipAndIndices) {
+  ByteBuf buf;
+  buf.write_u32(1);
+  buf.write_u32(2);
+  buf.skip(4);
+  EXPECT_EQ(buf.read_u32(), 2u);
+  buf.reset_read_index();
+  EXPECT_EQ(buf.read_u32(), 1u);
+}
+
+TEST(ByteBufTest, WrapAndTake) {
+  std::vector<std::uint8_t> raw{0, 0, 0, 5};
+  auto buf = ByteBuf::wrap(raw);
+  EXPECT_EQ(buf.read_u32(), 5u);
+  ByteBuf out;
+  out.write_u8(9);
+  auto taken = std::move(out).take();
+  EXPECT_EQ(taken, std::vector<std::uint8_t>{9});
+}
+
+// --- Snappy-like codec ---
+
+TEST(SnappyTest, EmptyInput) {
+  auto c = snappy_compress({});
+  auto d = snappy_decompress(c);
+  ASSERT_TRUE(d);
+  EXPECT_TRUE(d->empty());
+}
+
+TEST(SnappyTest, HighlyCompressible) {
+  std::vector<std::uint8_t> input(10000, 'a');
+  auto c = snappy_compress(input);
+  EXPECT_LT(c.size(), input.size() / 10);
+  auto d = snappy_decompress(c);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(*d, input);
+}
+
+TEST(SnappyTest, RepeatedPhrase) {
+  std::string phrase = "kompics messaging over netty pipelines ";
+  std::vector<std::uint8_t> input;
+  for (int i = 0; i < 200; ++i) {
+    input.insert(input.end(), phrase.begin(), phrase.end());
+  }
+  auto c = snappy_compress(input);
+  EXPECT_LT(c.size(), input.size() / 4);
+  auto d = snappy_decompress(c);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(*d, input);
+}
+
+TEST(SnappyTest, IncompressibleBoundedExpansion) {
+  Rng rng(31);
+  std::vector<std::uint8_t> input(100000);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng.next());
+  auto c = snappy_compress(input);
+  EXPECT_LT(c.size(), input.size() + input.size() / 100 + 16);
+  auto d = snappy_decompress(c);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(*d, input);
+}
+
+TEST(SnappyTest, RandomizedRoundTripProperty) {
+  Rng rng(37);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = rng.next_below(5000);
+    std::vector<std::uint8_t> input(n);
+    // Mix of compressible runs and random bytes.
+    std::size_t i = 0;
+    while (i < n) {
+      if (rng.next_bool(0.5)) {
+        const auto run = std::min<std::size_t>(n - i, 1 + rng.next_below(64));
+        const auto byte = static_cast<std::uint8_t>(rng.next());
+        for (std::size_t k = 0; k < run; ++k) input[i++] = byte;
+      } else {
+        input[i++] = static_cast<std::uint8_t>(rng.next());
+      }
+    }
+    auto c = snappy_compress(input);
+    auto d = snappy_decompress(c);
+    ASSERT_TRUE(d) << "trial " << trial;
+    ASSERT_EQ(*d, input) << "trial " << trial;
+  }
+}
+
+TEST(SnappyTest, MalformedInputRejected) {
+  EXPECT_FALSE(snappy_decompress({}));
+  // Claims 10 bytes but provides a copy from before the start.
+  std::vector<std::uint8_t> bogus{10, 0x80 | 2, 0x00, 0x05};
+  EXPECT_FALSE(snappy_decompress(bogus));
+  // Length mismatch.
+  std::vector<std::uint8_t> short_out{5, 0x01, 'a', 'b'};
+  EXPECT_FALSE(snappy_decompress(short_out));
+}
+
+TEST(SnappyTest, OverlappingCopyRleSemantics) {
+  // "abcabcabc..." exercises overlapping copies (offset < length).
+  std::vector<std::uint8_t> input;
+  for (int i = 0; i < 1000; ++i) input.push_back(static_cast<std::uint8_t>('a' + i % 3));
+  auto c = snappy_compress(input);
+  auto d = snappy_decompress(c);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(*d, input);
+}
+
+// --- Framing ---
+
+TEST(FramingTest, EncodeDecodeSingleFrame) {
+  std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  auto framed = encode_frame(payload);
+  EXPECT_EQ(framed.size(), payload.size() + 4);
+  FrameDecoder dec;
+  std::vector<std::vector<std::uint8_t>> frames;
+  dec.set_on_frame([&](std::vector<std::uint8_t> f) { frames.push_back(std::move(f)); });
+  EXPECT_TRUE(dec.feed(framed));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], payload);
+}
+
+TEST(FramingTest, ArbitraryChunkBoundaries) {
+  Rng rng(41);
+  std::vector<std::vector<std::uint8_t>> sent;
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::uint8_t> p(rng.next_below(200));
+    for (auto& b : p) b = static_cast<std::uint8_t>(rng.next());
+    auto framed = encode_frame(p);
+    stream.insert(stream.end(), framed.begin(), framed.end());
+    sent.push_back(std::move(p));
+  }
+  FrameDecoder dec;
+  std::vector<std::vector<std::uint8_t>> got;
+  dec.set_on_frame([&](std::vector<std::uint8_t> f) { got.push_back(std::move(f)); });
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    const std::size_t n = std::min<std::size_t>(1 + rng.next_below(37),
+                                                stream.size() - pos);
+    EXPECT_TRUE(dec.feed({stream.data() + pos, n}));
+    pos += n;
+  }
+  EXPECT_EQ(got, sent);
+  EXPECT_EQ(dec.frames_decoded(), 50u);
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+}
+
+TEST(FramingTest, EmptyFrameAllowed) {
+  FrameDecoder dec;
+  int count = 0;
+  dec.set_on_frame([&](std::vector<std::uint8_t> f) {
+    EXPECT_TRUE(f.empty());
+    ++count;
+  });
+  EXPECT_TRUE(dec.feed(encode_frame({})));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(FramingTest, OversizeFramePoisons) {
+  FrameDecoder dec(1024);
+  std::vector<std::uint8_t> evil{0x00, 0x10, 0x00, 0x00};  // 1 MiB length
+  EXPECT_FALSE(dec.feed(evil));
+  EXPECT_TRUE(dec.poisoned());
+  const std::vector<std::uint8_t> one{1};
+  EXPECT_FALSE(dec.feed(encode_frame(one)));  // stays poisoned
+}
+
+// --- Pipeline ---
+
+TEST(PipelineTest, EmptyPipelinePassesThrough) {
+  Pipeline p;
+  std::vector<std::uint8_t> payload{1, 2, 3};
+  EXPECT_EQ(p.process_outbound(payload), payload);
+  auto in = p.process_inbound(payload);
+  ASSERT_TRUE(in);
+  EXPECT_EQ(*in, payload);
+}
+
+TEST(PipelineTest, CompressionRoundTrip) {
+  Pipeline p;
+  p.add_last(std::make_unique<CompressionHandler>(0));
+  std::vector<std::uint8_t> payload(5000, 'x');
+  auto wire_form = p.process_outbound(payload);
+  EXPECT_LT(wire_form.size(), payload.size());
+  auto back = p.process_inbound(wire_form);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, payload);
+}
+
+TEST(PipelineTest, IncompressibleStoredRaw) {
+  Pipeline p;
+  p.add_last(std::make_unique<CompressionHandler>(0));
+  Rng rng(43);
+  std::vector<std::uint8_t> payload(1000);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
+  auto wire_form = p.process_outbound(payload);
+  EXPECT_EQ(wire_form.size(), payload.size() + 1);  // 1-byte raw tag
+  auto back = p.process_inbound(wire_form);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, payload);
+}
+
+TEST(PipelineTest, SmallPayloadBypass) {
+  Pipeline p;
+  p.add_last(std::make_unique<CompressionHandler>(64));
+  std::vector<std::uint8_t> tiny(10, 'a');
+  auto wire_form = p.process_outbound(tiny);
+  EXPECT_EQ(wire_form.size(), tiny.size() + 1);
+}
+
+TEST(PipelineTest, CorruptInboundRejected) {
+  Pipeline p;
+  p.add_last(std::make_unique<CompressionHandler>(0));
+  EXPECT_FALSE(p.process_inbound({}));
+  EXPECT_FALSE(p.process_inbound({0x42, 1, 2}));  // unknown tag
+  EXPECT_FALSE(p.process_inbound({0x01, 0xFF}));  // truncated compressed body
+}
+
+TEST(PipelineTest, MultipleHandlersComposeInOrder) {
+  // Two compression handlers: inner output is incompressible for the outer,
+  // but the round trip must still be exact (tests reverse-order inbound).
+  Pipeline p;
+  p.add_last(std::make_unique<CompressionHandler>(0));
+  p.add_last(std::make_unique<CompressionHandler>(0));
+  std::vector<std::uint8_t> payload(3000, 'z');
+  auto wire_form = p.process_outbound(payload);
+  auto back = p.process_inbound(wire_form);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, payload);
+}
+
+}  // namespace
+}  // namespace kmsg::wire
