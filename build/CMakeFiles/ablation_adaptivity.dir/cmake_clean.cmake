@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptivity.dir/bench/ablation_adaptivity.cpp.o"
+  "CMakeFiles/ablation_adaptivity.dir/bench/ablation_adaptivity.cpp.o.d"
+  "bench/ablation_adaptivity"
+  "bench/ablation_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

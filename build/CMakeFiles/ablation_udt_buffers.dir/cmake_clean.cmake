@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_udt_buffers.dir/bench/ablation_udt_buffers.cpp.o"
+  "CMakeFiles/ablation_udt_buffers.dir/bench/ablation_udt_buffers.cpp.o.d"
+  "bench/ablation_udt_buffers"
+  "bench/ablation_udt_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_udt_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

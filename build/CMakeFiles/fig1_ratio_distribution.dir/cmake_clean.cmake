@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ratio_distribution.dir/bench/fig1_ratio_distribution.cpp.o"
+  "CMakeFiles/fig1_ratio_distribution.dir/bench/fig1_ratio_distribution.cpp.o.d"
+  "bench/fig1_ratio_distribution"
+  "bench/fig1_ratio_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ratio_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_psp_convergence.dir/bench/fig2_psp_convergence.cpp.o"
+  "CMakeFiles/fig2_psp_convergence.dir/bench/fig2_psp_convergence.cpp.o.d"
+  "bench/fig2_psp_convergence"
+  "bench/fig2_psp_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_psp_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_td_qmatrix.dir/bench/fig4_td_qmatrix.cpp.o"
+  "CMakeFiles/fig4_td_qmatrix.dir/bench/fig4_td_qmatrix.cpp.o.d"
+  "bench/fig4_td_qmatrix"
+  "bench/fig4_td_qmatrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_td_qmatrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_td_model.dir/bench/fig5_td_model.cpp.o"
+  "CMakeFiles/fig5_td_model.dir/bench/fig5_td_model.cpp.o.d"
+  "bench/fig5_td_model"
+  "bench/fig5_td_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_td_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_td_approx.dir/bench/fig6_td_approx.cpp.o"
+  "CMakeFiles/fig6_td_approx.dir/bench/fig6_td_approx.cpp.o.d"
+  "bench/fig6_td_approx"
+  "bench/fig6_td_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_td_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_throughput.dir/bench/fig9_throughput.cpp.o"
+  "CMakeFiles/fig9_throughput.dir/bench/fig9_throughput.cpp.o.d"
+  "bench/fig9_throughput"
+  "bench/fig9_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

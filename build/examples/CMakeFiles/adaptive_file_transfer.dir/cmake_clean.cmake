@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_file_transfer.dir/adaptive_file_transfer.cpp.o"
+  "CMakeFiles/adaptive_file_transfer.dir/adaptive_file_transfer.cpp.o.d"
+  "adaptive_file_transfer"
+  "adaptive_file_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_file_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnode_routing.dir/vnode_routing.cpp.o"
+  "CMakeFiles/vnode_routing.dir/vnode_routing.cpp.o.d"
+  "vnode_routing"
+  "vnode_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnode_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

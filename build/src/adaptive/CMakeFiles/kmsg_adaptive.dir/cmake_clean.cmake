@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmsg_adaptive.dir/data_network.cpp.o"
+  "CMakeFiles/kmsg_adaptive.dir/data_network.cpp.o.d"
+  "CMakeFiles/kmsg_adaptive.dir/interceptor.cpp.o"
+  "CMakeFiles/kmsg_adaptive.dir/interceptor.cpp.o.d"
+  "CMakeFiles/kmsg_adaptive.dir/prp.cpp.o"
+  "CMakeFiles/kmsg_adaptive.dir/prp.cpp.o.d"
+  "CMakeFiles/kmsg_adaptive.dir/psp.cpp.o"
+  "CMakeFiles/kmsg_adaptive.dir/psp.cpp.o.d"
+  "CMakeFiles/kmsg_adaptive.dir/ratio.cpp.o"
+  "CMakeFiles/kmsg_adaptive.dir/ratio.cpp.o.d"
+  "libkmsg_adaptive.a"
+  "libkmsg_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmsg_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

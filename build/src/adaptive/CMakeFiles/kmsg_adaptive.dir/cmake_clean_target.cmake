@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkmsg_adaptive.a"
+)

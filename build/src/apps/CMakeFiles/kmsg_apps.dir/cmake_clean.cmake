@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmsg_apps.dir/experiment.cpp.o"
+  "CMakeFiles/kmsg_apps.dir/experiment.cpp.o.d"
+  "CMakeFiles/kmsg_apps.dir/filetransfer.cpp.o"
+  "CMakeFiles/kmsg_apps.dir/filetransfer.cpp.o.d"
+  "CMakeFiles/kmsg_apps.dir/messages.cpp.o"
+  "CMakeFiles/kmsg_apps.dir/messages.cpp.o.d"
+  "CMakeFiles/kmsg_apps.dir/pingpong.cpp.o"
+  "CMakeFiles/kmsg_apps.dir/pingpong.cpp.o.d"
+  "libkmsg_apps.a"
+  "libkmsg_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmsg_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

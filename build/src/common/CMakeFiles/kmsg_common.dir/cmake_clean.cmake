@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmsg_common.dir/logging.cpp.o"
+  "CMakeFiles/kmsg_common.dir/logging.cpp.o.d"
+  "CMakeFiles/kmsg_common.dir/stats.cpp.o"
+  "CMakeFiles/kmsg_common.dir/stats.cpp.o.d"
+  "libkmsg_common.a"
+  "libkmsg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmsg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

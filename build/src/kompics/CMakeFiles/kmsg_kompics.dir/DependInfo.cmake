@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kompics/core.cpp" "src/kompics/CMakeFiles/kmsg_kompics.dir/core.cpp.o" "gcc" "src/kompics/CMakeFiles/kmsg_kompics.dir/core.cpp.o.d"
+  "/root/repo/src/kompics/scheduler.cpp" "src/kompics/CMakeFiles/kmsg_kompics.dir/scheduler.cpp.o" "gcc" "src/kompics/CMakeFiles/kmsg_kompics.dir/scheduler.cpp.o.d"
+  "/root/repo/src/kompics/system.cpp" "src/kompics/CMakeFiles/kmsg_kompics.dir/system.cpp.o" "gcc" "src/kompics/CMakeFiles/kmsg_kompics.dir/system.cpp.o.d"
+  "/root/repo/src/kompics/timer.cpp" "src/kompics/CMakeFiles/kmsg_kompics.dir/timer.cpp.o" "gcc" "src/kompics/CMakeFiles/kmsg_kompics.dir/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/kmsg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kmsg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

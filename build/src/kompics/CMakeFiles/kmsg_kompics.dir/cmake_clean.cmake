@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmsg_kompics.dir/core.cpp.o"
+  "CMakeFiles/kmsg_kompics.dir/core.cpp.o.d"
+  "CMakeFiles/kmsg_kompics.dir/scheduler.cpp.o"
+  "CMakeFiles/kmsg_kompics.dir/scheduler.cpp.o.d"
+  "CMakeFiles/kmsg_kompics.dir/system.cpp.o"
+  "CMakeFiles/kmsg_kompics.dir/system.cpp.o.d"
+  "CMakeFiles/kmsg_kompics.dir/timer.cpp.o"
+  "CMakeFiles/kmsg_kompics.dir/timer.cpp.o.d"
+  "libkmsg_kompics.a"
+  "libkmsg_kompics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmsg_kompics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

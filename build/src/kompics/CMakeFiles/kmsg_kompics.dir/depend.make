@@ -1,0 +1,2 @@
+# Empty dependencies file for kmsg_kompics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/messaging/network_component.cpp" "src/messaging/CMakeFiles/kmsg_messaging.dir/network_component.cpp.o" "gcc" "src/messaging/CMakeFiles/kmsg_messaging.dir/network_component.cpp.o.d"
+  "/root/repo/src/messaging/reliable.cpp" "src/messaging/CMakeFiles/kmsg_messaging.dir/reliable.cpp.o" "gcc" "src/messaging/CMakeFiles/kmsg_messaging.dir/reliable.cpp.o.d"
+  "/root/repo/src/messaging/serialization.cpp" "src/messaging/CMakeFiles/kmsg_messaging.dir/serialization.cpp.o" "gcc" "src/messaging/CMakeFiles/kmsg_messaging.dir/serialization.cpp.o.d"
+  "/root/repo/src/messaging/virtual_network.cpp" "src/messaging/CMakeFiles/kmsg_messaging.dir/virtual_network.cpp.o" "gcc" "src/messaging/CMakeFiles/kmsg_messaging.dir/virtual_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kompics/CMakeFiles/kmsg_kompics.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/kmsg_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/kmsg_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/kmsg_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kmsg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kmsg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmsg_messaging.dir/network_component.cpp.o"
+  "CMakeFiles/kmsg_messaging.dir/network_component.cpp.o.d"
+  "CMakeFiles/kmsg_messaging.dir/reliable.cpp.o"
+  "CMakeFiles/kmsg_messaging.dir/reliable.cpp.o.d"
+  "CMakeFiles/kmsg_messaging.dir/serialization.cpp.o"
+  "CMakeFiles/kmsg_messaging.dir/serialization.cpp.o.d"
+  "CMakeFiles/kmsg_messaging.dir/virtual_network.cpp.o"
+  "CMakeFiles/kmsg_messaging.dir/virtual_network.cpp.o.d"
+  "libkmsg_messaging.a"
+  "libkmsg_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmsg_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

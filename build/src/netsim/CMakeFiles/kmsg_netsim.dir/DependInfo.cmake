@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/link.cpp" "src/netsim/CMakeFiles/kmsg_netsim.dir/link.cpp.o" "gcc" "src/netsim/CMakeFiles/kmsg_netsim.dir/link.cpp.o.d"
+  "/root/repo/src/netsim/network.cpp" "src/netsim/CMakeFiles/kmsg_netsim.dir/network.cpp.o" "gcc" "src/netsim/CMakeFiles/kmsg_netsim.dir/network.cpp.o.d"
+  "/root/repo/src/netsim/topology.cpp" "src/netsim/CMakeFiles/kmsg_netsim.dir/topology.cpp.o" "gcc" "src/netsim/CMakeFiles/kmsg_netsim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/kmsg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kmsg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmsg_netsim.dir/link.cpp.o"
+  "CMakeFiles/kmsg_netsim.dir/link.cpp.o.d"
+  "CMakeFiles/kmsg_netsim.dir/network.cpp.o"
+  "CMakeFiles/kmsg_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/kmsg_netsim.dir/topology.cpp.o"
+  "CMakeFiles/kmsg_netsim.dir/topology.cpp.o.d"
+  "libkmsg_netsim.a"
+  "libkmsg_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmsg_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/quadfit.cpp" "src/rl/CMakeFiles/kmsg_rl.dir/quadfit.cpp.o" "gcc" "src/rl/CMakeFiles/kmsg_rl.dir/quadfit.cpp.o.d"
+  "/root/repo/src/rl/sarsa.cpp" "src/rl/CMakeFiles/kmsg_rl.dir/sarsa.cpp.o" "gcc" "src/rl/CMakeFiles/kmsg_rl.dir/sarsa.cpp.o.d"
+  "/root/repo/src/rl/value_function.cpp" "src/rl/CMakeFiles/kmsg_rl.dir/value_function.cpp.o" "gcc" "src/rl/CMakeFiles/kmsg_rl.dir/value_function.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kmsg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

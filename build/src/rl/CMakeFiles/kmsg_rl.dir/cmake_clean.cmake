@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmsg_rl.dir/quadfit.cpp.o"
+  "CMakeFiles/kmsg_rl.dir/quadfit.cpp.o.d"
+  "CMakeFiles/kmsg_rl.dir/sarsa.cpp.o"
+  "CMakeFiles/kmsg_rl.dir/sarsa.cpp.o.d"
+  "CMakeFiles/kmsg_rl.dir/value_function.cpp.o"
+  "CMakeFiles/kmsg_rl.dir/value_function.cpp.o.d"
+  "libkmsg_rl.a"
+  "libkmsg_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmsg_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

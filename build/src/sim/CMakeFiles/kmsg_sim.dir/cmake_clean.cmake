@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmsg_sim.dir/simulator.cpp.o"
+  "CMakeFiles/kmsg_sim.dir/simulator.cpp.o.d"
+  "libkmsg_sim.a"
+  "libkmsg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmsg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/ledbat.cpp" "src/transport/CMakeFiles/kmsg_transport.dir/ledbat.cpp.o" "gcc" "src/transport/CMakeFiles/kmsg_transport.dir/ledbat.cpp.o.d"
+  "/root/repo/src/transport/reassembly.cpp" "src/transport/CMakeFiles/kmsg_transport.dir/reassembly.cpp.o" "gcc" "src/transport/CMakeFiles/kmsg_transport.dir/reassembly.cpp.o.d"
+  "/root/repo/src/transport/ring_buffer.cpp" "src/transport/CMakeFiles/kmsg_transport.dir/ring_buffer.cpp.o" "gcc" "src/transport/CMakeFiles/kmsg_transport.dir/ring_buffer.cpp.o.d"
+  "/root/repo/src/transport/tcp.cpp" "src/transport/CMakeFiles/kmsg_transport.dir/tcp.cpp.o" "gcc" "src/transport/CMakeFiles/kmsg_transport.dir/tcp.cpp.o.d"
+  "/root/repo/src/transport/udp.cpp" "src/transport/CMakeFiles/kmsg_transport.dir/udp.cpp.o" "gcc" "src/transport/CMakeFiles/kmsg_transport.dir/udp.cpp.o.d"
+  "/root/repo/src/transport/udt.cpp" "src/transport/CMakeFiles/kmsg_transport.dir/udt.cpp.o" "gcc" "src/transport/CMakeFiles/kmsg_transport.dir/udt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/kmsg_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kmsg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kmsg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

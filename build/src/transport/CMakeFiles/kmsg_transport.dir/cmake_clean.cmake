@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmsg_transport.dir/ledbat.cpp.o"
+  "CMakeFiles/kmsg_transport.dir/ledbat.cpp.o.d"
+  "CMakeFiles/kmsg_transport.dir/reassembly.cpp.o"
+  "CMakeFiles/kmsg_transport.dir/reassembly.cpp.o.d"
+  "CMakeFiles/kmsg_transport.dir/ring_buffer.cpp.o"
+  "CMakeFiles/kmsg_transport.dir/ring_buffer.cpp.o.d"
+  "CMakeFiles/kmsg_transport.dir/tcp.cpp.o"
+  "CMakeFiles/kmsg_transport.dir/tcp.cpp.o.d"
+  "CMakeFiles/kmsg_transport.dir/udp.cpp.o"
+  "CMakeFiles/kmsg_transport.dir/udp.cpp.o.d"
+  "CMakeFiles/kmsg_transport.dir/udt.cpp.o"
+  "CMakeFiles/kmsg_transport.dir/udt.cpp.o.d"
+  "libkmsg_transport.a"
+  "libkmsg_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmsg_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/bytebuf.cpp" "src/wire/CMakeFiles/kmsg_wire.dir/bytebuf.cpp.o" "gcc" "src/wire/CMakeFiles/kmsg_wire.dir/bytebuf.cpp.o.d"
+  "/root/repo/src/wire/framing.cpp" "src/wire/CMakeFiles/kmsg_wire.dir/framing.cpp.o" "gcc" "src/wire/CMakeFiles/kmsg_wire.dir/framing.cpp.o.d"
+  "/root/repo/src/wire/pipeline.cpp" "src/wire/CMakeFiles/kmsg_wire.dir/pipeline.cpp.o" "gcc" "src/wire/CMakeFiles/kmsg_wire.dir/pipeline.cpp.o.d"
+  "/root/repo/src/wire/snappy.cpp" "src/wire/CMakeFiles/kmsg_wire.dir/snappy.cpp.o" "gcc" "src/wire/CMakeFiles/kmsg_wire.dir/snappy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kmsg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmsg_wire.dir/bytebuf.cpp.o"
+  "CMakeFiles/kmsg_wire.dir/bytebuf.cpp.o.d"
+  "CMakeFiles/kmsg_wire.dir/framing.cpp.o"
+  "CMakeFiles/kmsg_wire.dir/framing.cpp.o.d"
+  "CMakeFiles/kmsg_wire.dir/pipeline.cpp.o"
+  "CMakeFiles/kmsg_wire.dir/pipeline.cpp.o.d"
+  "CMakeFiles/kmsg_wire.dir/snappy.cpp.o"
+  "CMakeFiles/kmsg_wire.dir/snappy.cpp.o.d"
+  "libkmsg_wire.a"
+  "libkmsg_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmsg_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffers_test.dir/buffers_test.cpp.o"
+  "CMakeFiles/buffers_test.dir/buffers_test.cpp.o.d"
+  "buffers_test"
+  "buffers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

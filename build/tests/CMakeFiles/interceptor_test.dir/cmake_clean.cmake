@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interceptor_test.dir/interceptor_test.cpp.o"
+  "CMakeFiles/interceptor_test.dir/interceptor_test.cpp.o.d"
+  "interceptor_test"
+  "interceptor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interceptor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kompics_test.dir/kompics_test.cpp.o"
+  "CMakeFiles/kompics_test.dir/kompics_test.cpp.o.d"
+  "kompics_test"
+  "kompics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kompics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/messaging_test.dir/messaging_test.cpp.o"
+  "CMakeFiles/messaging_test.dir/messaging_test.cpp.o.d"
+  "messaging_test"
+  "messaging_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/messaging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

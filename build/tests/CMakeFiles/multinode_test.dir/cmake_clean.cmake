@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multinode_test.dir/multinode_test.cpp.o"
+  "CMakeFiles/multinode_test.dir/multinode_test.cpp.o.d"
+  "multinode_test"
+  "multinode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multinode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_test.dir/reliable_test.cpp.o"
+  "CMakeFiles/reliable_test.dir/reliable_test.cpp.o.d"
+  "reliable_test"
+  "reliable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

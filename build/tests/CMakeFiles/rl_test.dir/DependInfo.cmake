@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rl_test.cpp" "tests/CMakeFiles/rl_test.dir/rl_test.cpp.o" "gcc" "tests/CMakeFiles/rl_test.dir/rl_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/kmsg_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/kmsg_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/messaging/CMakeFiles/kmsg_messaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/kompics/CMakeFiles/kmsg_kompics.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/kmsg_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/kmsg_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kmsg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/kmsg_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/kmsg_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kmsg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_test.dir/udp_test.cpp.o"
+  "CMakeFiles/udp_test.dir/udp_test.cpp.o.d"
+  "udp_test"
+  "udp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udt_test.dir/udt_test.cpp.o"
+  "CMakeFiles/udt_test.dir/udt_test.cpp.o.d"
+  "udt_test"
+  "udt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
