@@ -22,6 +22,9 @@ NetworkComponent::NetworkComponent(netsim::Host& host, NetworkConfig config,
 
 NetworkComponent::~NetworkComponent() {
   if (status_cancel_) status_cancel_();
+  for (auto& [key, s] : sessions_) {
+    if (s->reconnect_timer) s->reconnect_timer();
+  }
 }
 
 void NetworkComponent::setup() {
@@ -248,6 +251,7 @@ void NetworkComponent::open_session(Session& s) {
     auto it = sessions_.find({peer, t});
     if (it == sessions_.end()) return;
     it->second->connected = true;
+    it->second->reconnect_attempts = 0;
     drain(*it->second);
   });
   conn->set_on_writable([this, peer, t] {
@@ -291,14 +295,45 @@ void NetworkComponent::drain(Session& s) {
 void NetworkComponent::on_session_closed(const Address& peer, Transport t) {
   auto it = sessions_.find({peer, t});
   if (it == sessions_.end()) return;
+  Session& s = *it->second;
   ++stats_.sessions_closed;
+
+  // Session re-establishment: if frames are still queued (the connection was
+  // aborted by a poisoned frame stream, or collapsed mid-partition) retry
+  // with backoff rather than dropping them. A partially written frame
+  // restarts from its first byte — the peer's old decoder died with the old
+  // connection, so the replacement stream starts on a clean frame boundary.
+  if (!s.queue.empty() &&
+      s.reconnect_attempts < config_.session_reconnect_attempts) {
+    ++s.reconnect_attempts;
+    ++stats_.session_reconnects;
+    s.connected = false;
+    s.conn = nullptr;
+    s.queue.front().offset = 0;
+    const auto delay = Duration::nanos(
+        config_.session_reconnect_backoff.as_nanos()
+        << (s.reconnect_attempts - 1));
+    KMSG_INFO("network") << "session to " << peer.to_string()
+                         << " died with queued frames; reconnect attempt "
+                         << s.reconnect_attempts << " in " << to_string(delay);
+    s.reconnect_timer = system().scheduler().schedule_delayed(
+        delay, [this, peer, t] {
+          auto sit = sessions_.find({peer, t});
+          if (sit == sessions_.end()) return;
+          sit->second->reconnect_timer = nullptr;
+          open_session(*sit->second);
+        });
+    return;
+  }
+
   // At-most-once semantics: queued messages are lost; fail their notifies.
-  for (const auto& f : it->second->queue) {
+  for (const auto& f : s.queue) {
     ++stats_.msgs_dropped;
     if (f.notify) {
       notify_result(*f.notify, DeliveryStatus::kFailed, t, f.payload_bytes);
     }
   }
+  if (s.reconnect_timer) s.reconnect_timer();
   sessions_.erase(it);
 }
 
@@ -312,8 +347,9 @@ void NetworkComponent::attach_inbound(
   in->decoder->set_on_frame(
       [this](std::vector<std::uint8_t> frame) { deliver_frame(std::move(frame)); });
   Inbound* raw = in.get();
-  conn->set_on_data([raw](std::span<const std::uint8_t> chunk) {
+  conn->set_on_data([this, raw](std::span<const std::uint8_t> chunk) {
     if (!raw->decoder->feed(chunk)) {
+      stats_.frames_corrupt += raw->decoder->frames_corrupt();
       KMSG_ERROR("network") << "poisoned frame stream; aborting connection";
       raw->conn->abort();
     }

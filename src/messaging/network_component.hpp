@@ -68,6 +68,13 @@ struct NetworkConfig {
   /// paper cites NAT hole punching, §III-C). Duration::zero() disables
   /// reclamation entirely.
   Duration idle_session_timeout = Duration::seconds(600.0);
+  /// When a session dies with frames still queued (e.g. the connection was
+  /// aborted by a poisoned frame stream or collapsed during a partition),
+  /// the component re-establishes it up to this many times before failing
+  /// the queued messages. 0 restores drop-on-close behaviour.
+  int session_reconnect_attempts = 3;
+  /// Base delay before a reconnect attempt; doubles per consecutive failure.
+  Duration session_reconnect_backoff = Duration::millis(200);
 };
 
 struct NetworkComponentStats {
@@ -82,6 +89,8 @@ struct NetworkComponentStats {
   std::uint64_t sessions_opened = 0;
   std::uint64_t sessions_accepted = 0;
   std::uint64_t sessions_closed = 0;
+  std::uint64_t session_reconnects = 0;  ///< re-establishments after a dead session
+  std::uint64_t frames_corrupt = 0;      ///< inbound frames failing the CRC check
 };
 
 class NetworkComponent final : public kompics::ComponentDefinition {
@@ -112,6 +121,8 @@ class NetworkComponent final : public kompics::ComponentDefinition {
     std::size_t queued_bytes = 0;
     bool connected = false;
     TimePoint last_activity = TimePoint::zero();
+    int reconnect_attempts = 0;        // consecutive failures since last connect
+    kompics::CancelFn reconnect_timer; // pending re-establishment, if any
   };
 
   struct Inbound {

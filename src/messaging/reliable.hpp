@@ -72,6 +72,12 @@ struct ReliableConfig {
   int max_retries = 20;
   /// Transport used for acknowledgements.
   Transport ack_protocol = Transport::kTcp;
+  /// Each unacknowledged retransmission multiplies the RTO by this factor
+  /// (exponential backoff), so retries survive long partitions without
+  /// flooding the recovering link. 1.0 restores a fixed-interval RTO.
+  double backoff_factor = 2.0;
+  /// Ceiling on the backed-off RTO.
+  Duration max_retransmit_timeout = Duration::seconds(8.0);
 };
 
 struct ReliableStats {

@@ -1,0 +1,210 @@
+#include "netsim/chaos.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace kmsg::netsim {
+
+namespace {
+
+std::string group_string(const std::vector<std::vector<HostId>>& groups) {
+  std::ostringstream os;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    os << (g == 0 ? "{" : ",{");
+    for (std::size_t i = 0; i < groups[g].size(); ++i) {
+      os << (i == 0 ? "" : " ") << groups[g][i];
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+std::string pair_string(HostId a, HostId b) {
+  return std::to_string(a) + "<->" + std::to_string(b);
+}
+
+std::string rate_string(double rate) {
+  std::ostringstream os;
+  os << rate;
+  return os.str();
+}
+
+}  // namespace
+
+ChaosSchedule::ChaosSchedule(Network& net, std::uint64_t seed)
+    : net_(net), rng_(seed) {}
+
+ChaosSchedule& ChaosSchedule::add(Duration t, std::string description,
+                                  std::function<void()> apply) {
+  pending_.push_back(Pending{t, std::move(description), std::move(apply)});
+  return *this;
+}
+
+void ChaosSchedule::for_pair(HostId a, HostId b,
+                             const std::function<void(Link&)>& fn) {
+  if (auto* l = net_.link(a, b)) fn(*l);
+  if (a != b) {
+    if (auto* l = net_.link(b, a)) fn(*l);
+  }
+}
+
+ChaosSchedule& ChaosSchedule::partition_at(
+    Duration t, std::vector<std::vector<HostId>> groups) {
+  auto desc = "partition " + group_string(groups);
+  return add(t, std::move(desc), [this, groups = std::move(groups)] {
+    net_.partition(groups);
+    ++stats_.partitions;
+  });
+}
+
+ChaosSchedule& ChaosSchedule::heal_at(Duration t) {
+  return add(t, "heal", [this] {
+    net_.heal();
+    ++stats_.heals;
+  });
+}
+
+ChaosSchedule& ChaosSchedule::loss_all_at(Duration t, double rate) {
+  return add(t, "loss(*)=" + rate_string(rate), [this, rate] {
+    net_.for_each_link([rate](HostId, HostId, Link& l) {
+      l.set_random_loss_rate(rate);
+    });
+    ++stats_.rate_changes;
+  });
+}
+
+ChaosSchedule& ChaosSchedule::loss_at(Duration t, HostId a, HostId b,
+                                      double rate) {
+  return add(t, "loss(" + pair_string(a, b) + ")=" + rate_string(rate),
+             [this, a, b, rate] {
+               for_pair(a, b, [rate](Link& l) { l.set_random_loss_rate(rate); });
+               ++stats_.rate_changes;
+             });
+}
+
+ChaosSchedule& ChaosSchedule::delay_at(Duration t, HostId a, HostId b,
+                                       Duration one_way) {
+  return add(t,
+             "delay(" + pair_string(a, b) + ")=" + to_string(one_way),
+             [this, a, b, one_way] {
+               for_pair(a, b,
+                        [one_way](Link& l) { l.set_propagation_delay(one_way); });
+               ++stats_.delay_changes;
+             });
+}
+
+ChaosSchedule& ChaosSchedule::delay_all_at(Duration t, Duration one_way) {
+  return add(t, "delay(*)=" + to_string(one_way), [this, one_way] {
+    net_.for_each_link([one_way](HostId, HostId, Link& l) {
+      l.set_propagation_delay(one_way);
+    });
+    ++stats_.delay_changes;
+  });
+}
+
+ChaosSchedule& ChaosSchedule::reorder_at(Duration t, HostId a, HostId b,
+                                         double rate, Duration max_extra_delay) {
+  return add(t,
+             "reorder(" + pair_string(a, b) + ")=" + rate_string(rate) + "/" +
+                 to_string(max_extra_delay),
+             [this, a, b, rate, max_extra_delay] {
+               for_pair(a, b, [rate, max_extra_delay](Link& l) {
+                 l.set_reorder(rate, max_extra_delay);
+               });
+               ++stats_.rate_changes;
+             });
+}
+
+ChaosSchedule& ChaosSchedule::corrupt_at(Duration t, HostId a, HostId b,
+                                         double rate) {
+  return add(t, "corrupt(" + pair_string(a, b) + ")=" + rate_string(rate),
+             [this, a, b, rate] {
+               for_pair(a, b, [rate](Link& l) { l.set_corrupt_rate(rate); });
+               ++stats_.rate_changes;
+             });
+}
+
+ChaosSchedule& ChaosSchedule::duplicate_at(Duration t, HostId a, HostId b,
+                                           double rate) {
+  return add(t, "duplicate(" + pair_string(a, b) + ")=" + rate_string(rate),
+             [this, a, b, rate] {
+               for_pair(a, b, [rate](Link& l) { l.set_duplicate_rate(rate); });
+               ++stats_.rate_changes;
+             });
+}
+
+ChaosSchedule& ChaosSchedule::link_down_at(Duration t, HostId a, HostId b) {
+  return add(t, "down(" + pair_string(a, b) + ")", [this, a, b] {
+    for_pair(a, b, [](Link& l) { l.set_up(false); });
+    ++stats_.link_flaps;
+  });
+}
+
+ChaosSchedule& ChaosSchedule::link_up_at(Duration t, HostId a, HostId b) {
+  return add(t, "up(" + pair_string(a, b) + ")", [this, a, b] {
+    for_pair(a, b, [](Link& l) { l.set_up(true); });
+    ++stats_.link_flaps;
+  });
+}
+
+ChaosSchedule& ChaosSchedule::flap_at(Duration t, HostId a, HostId b,
+                                      Duration down_for) {
+  link_down_at(t, a, b);
+  return link_up_at(t + down_for, a, b);
+}
+
+ChaosSchedule& ChaosSchedule::random_flaps(int count, Duration from, Duration to,
+                                           Duration down_for) {
+  // Collect the distinct unordered linked pairs once; the draw order below
+  // depends only on (seed, network shape), keeping schedules replayable.
+  std::vector<std::pair<HostId, HostId>> pairs;
+  net_.for_each_link([&pairs](HostId src, HostId dst, Link&) {
+    const auto key = std::minmax(src, dst);
+    if (std::find(pairs.begin(), pairs.end(),
+                  std::make_pair(key.first, key.second)) == pairs.end()) {
+      pairs.emplace_back(key.first, key.second);
+    }
+  });
+  if (pairs.empty() || to <= from) return *this;
+  const auto window = static_cast<std::uint64_t>((to - from).as_nanos());
+  for (int i = 0; i < count; ++i) {
+    const auto& p = pairs[rng_.next_below(pairs.size())];
+    const Duration at =
+        from + Duration::nanos(static_cast<std::int64_t>(rng_.next_below(window)));
+    flap_at(at, p.first, p.second, down_for);
+  }
+  return *this;
+}
+
+void ChaosSchedule::arm() {
+  if (armed_) return;
+  armed_ = true;
+  // Stable application order for simultaneous events: schedule in time order
+  // (the simulator breaks ties by scheduling sequence).
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const Pending& x, const Pending& y) { return x.at < y.at; });
+  sim::Simulator& sim = net_.simulator();
+  const TimePoint base = sim.now();
+  for (auto& p : pending_) {
+    sim.schedule_at(base + p.at,
+                    [this, desc = p.description, apply = p.apply] {
+                      apply();
+                      trace_.push_back({net_.simulator().now(), desc});
+                      KMSG_DEBUG("chaos") << "applied: " << desc;
+                    });
+  }
+  pending_.clear();
+}
+
+std::string ChaosSchedule::trace_string() const {
+  std::ostringstream os;
+  for (const auto& e : trace_) {
+    os << e.at.as_nanos() << " " << e.description << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace kmsg::netsim

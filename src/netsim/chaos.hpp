@@ -1,0 +1,114 @@
+// ChaosSchedule: a scripted, seeded sequence of network fault events applied
+// against a running simulation.
+//
+// The paper's evaluation runs over real EC2 paths where loss, reordering and
+// rate-policing are facts of life; this harness makes the simulated network
+// just as hostile, but on a deterministic timeline. A schedule is built with
+// fluent `*_at` calls (partition two host groups at t=X, heal at t=Y, flap a
+// link for 2 s, raise loss to 5%, ...), then `arm()` registers every event
+// with the network's simulator. Each applied event is recorded in a trace —
+// (time, description) pairs whose concatenation is a replay fingerprint: two
+// runs of the same seeded schedule must produce bit-identical traces and
+// LinkStats, which the determinism regression test asserts.
+//
+// Duplex convention: link-targeted events apply to both directions of the
+// (a, b) pair when both directed links exist, mirroring add_duplex_link.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netsim/network.hpp"
+
+namespace kmsg::netsim {
+
+/// Counts of applied events per fault category.
+struct ChaosStats {
+  std::uint64_t partitions = 0;
+  std::uint64_t heals = 0;
+  std::uint64_t link_flaps = 0;  ///< down and up transitions
+  std::uint64_t rate_changes = 0;  ///< loss / corrupt / duplicate / reorder
+  std::uint64_t delay_changes = 0;
+  std::uint64_t total() const {
+    return partitions + heals + link_flaps + rate_changes + delay_changes;
+  }
+};
+
+class ChaosSchedule {
+ public:
+  /// The seed feeds randomised schedule generators (random_flaps); scripted
+  /// events are deterministic regardless.
+  explicit ChaosSchedule(Network& net, std::uint64_t seed = 0xc5a05);
+  ChaosSchedule(const ChaosSchedule&) = delete;
+  ChaosSchedule& operator=(const ChaosSchedule&) = delete;
+
+  // --- Scripted fault events (builder style; times are sim-relative) ---
+
+  /// at t: partition the hosts into groups; cross-group traffic drops.
+  ChaosSchedule& partition_at(Duration t, std::vector<std::vector<HostId>> groups);
+  /// at t: remove the partition.
+  ChaosSchedule& heal_at(Duration t);
+  /// at t: set iid loss on every link.
+  ChaosSchedule& loss_all_at(Duration t, double rate);
+  /// at t: set iid loss on the duplex pair (a, b).
+  ChaosSchedule& loss_at(Duration t, HostId a, HostId b, double rate);
+  /// at t: set one-way propagation delay on the duplex pair (a, b).
+  ChaosSchedule& delay_at(Duration t, HostId a, HostId b, Duration one_way);
+  /// at t: set one-way propagation delay on every link.
+  ChaosSchedule& delay_all_at(Duration t, Duration one_way);
+  /// at t: set delay-jitter reordering on the duplex pair (a, b).
+  ChaosSchedule& reorder_at(Duration t, HostId a, HostId b, double rate,
+                            Duration max_extra_delay);
+  /// at t: set bit-corruption probability on the duplex pair (a, b).
+  ChaosSchedule& corrupt_at(Duration t, HostId a, HostId b, double rate);
+  /// at t: set duplication probability on the duplex pair (a, b).
+  ChaosSchedule& duplicate_at(Duration t, HostId a, HostId b, double rate);
+  /// at t: take the duplex pair (a, b) down / bring it back up.
+  ChaosSchedule& link_down_at(Duration t, HostId a, HostId b);
+  ChaosSchedule& link_up_at(Duration t, HostId a, HostId b);
+  /// at t: take (a, b) down, restoring it after `down_for`.
+  ChaosSchedule& flap_at(Duration t, HostId a, HostId b, Duration down_for);
+
+  /// Generates `count` seeded-random flaps: each picks a random linked host
+  /// pair and a random start time in [from, to), staying down for
+  /// `down_for`. Deterministic for a given (seed, network shape).
+  ChaosSchedule& random_flaps(int count, Duration from, Duration to,
+                              Duration down_for);
+
+  /// Registers all pending events with the network's simulator. Call once,
+  /// before (or while) the simulation runs; events in the past run "now".
+  void arm();
+  bool armed() const { return armed_; }
+
+  // --- Observability ---
+  struct AppliedEvent {
+    TimePoint at;
+    std::string description;
+  };
+  /// Events applied so far, in application order.
+  const std::vector<AppliedEvent>& trace() const { return trace_; }
+  /// The trace flattened to one line per event — a replay fingerprint.
+  std::string trace_string() const;
+  const ChaosStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    Duration at;
+    std::string description;
+    std::function<void()> apply;
+  };
+
+  ChaosSchedule& add(Duration t, std::string description,
+                     std::function<void()> apply);
+  /// Applies `fn` to both directions of (a, b) that exist.
+  void for_pair(HostId a, HostId b, const std::function<void(Link&)>& fn);
+
+  Network& net_;
+  Rng rng_;
+  std::vector<Pending> pending_;
+  std::vector<AppliedEvent> trace_;
+  ChaosStats stats_;
+  bool armed_ = false;
+};
+
+}  // namespace kmsg::netsim

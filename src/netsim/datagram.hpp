@@ -32,6 +32,11 @@ struct Datagram {
   IpProto proto = IpProto::kUdp;
   /// Total simulated on-the-wire size (headers + payload), in bytes.
   std::size_t wire_bytes = 0;
+  /// Set by a faulty link: the datagram suffered bit errors in flight. The
+  /// receiving transport decides the consequence — UDP-style checksums drop
+  /// the datagram, stream transports surface flipped payload bytes so the
+  /// wire-framing checksum has something real to catch.
+  bool corrupted = false;
   std::shared_ptr<const DatagramBody> body;
 };
 

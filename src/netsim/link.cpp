@@ -26,8 +26,24 @@ bool Link::policer_admit(const Datagram& dg) {
   return true;
 }
 
+void Link::set_up(bool up) {
+  if (up == up_) return;
+  up_ = up;
+  if (!up_) {
+    // A dead cable loses whatever was queued behind it. The datagram
+    // currently serialising (if any) made it onto the wire and still lands.
+    stats_.drops_link_down += queue_.size();
+    queue_.clear();
+    queued_bytes_ = 0;
+  }
+}
+
 void Link::send(const Datagram& dg) {
   ++stats_.datagrams_sent;
+  if (!up_) {
+    ++stats_.drops_link_down;
+    return;
+  }
   if (!policer_admit(dg)) {
     ++stats_.drops_policer;
     return;
@@ -40,8 +56,19 @@ void Link::send(const Datagram& dg) {
     ++stats_.drops_queue_full;
     return;
   }
-  queue_.push_back(dg);
-  queued_bytes_ += dg.wire_bytes;
+  Datagram queued = dg;
+  if (config_.corrupt_rate > 0.0 && rng_.next_bool(config_.corrupt_rate)) {
+    queued.corrupted = true;
+    ++stats_.corrupted;
+  }
+  queue_.push_back(queued);
+  queued_bytes_ += queued.wire_bytes;
+  if (config_.duplicate_rate > 0.0 && rng_.next_bool(config_.duplicate_rate) &&
+      queued_bytes_ + queued.wire_bytes <= config_.queue_capacity_bytes) {
+    queue_.push_back(queued);
+    queued_bytes_ += queued.wire_bytes;
+    ++stats_.duplicated;
+  }
   if (!transmitting_) start_transmission();
 }
 
@@ -60,7 +87,14 @@ void Link::start_transmission() {
   sim_.schedule_after(tx, [this, dg] {
     // Serialisation finished: the datagram enters flight; the transmitter is
     // free for the next queued datagram.
-    const Duration prop = config_.propagation_delay;
+    Duration prop = config_.propagation_delay;
+    if (config_.reorder_rate > 0.0 && config_.reorder_jitter > Duration::zero() &&
+        rng_.next_bool(config_.reorder_rate)) {
+      // Extra uniform delay: datagrams serialised later can now land first.
+      prop += Duration::nanos(static_cast<std::int64_t>(rng_.next_below(
+          static_cast<std::uint64_t>(config_.reorder_jitter.as_nanos()) + 1)));
+      ++stats_.reordered;
+    }
     sim_.schedule_after(prop, [this, dg] {
       ++stats_.datagrams_delivered;
       stats_.bytes_delivered += dg.wire_bytes;

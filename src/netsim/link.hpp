@@ -2,6 +2,13 @@
 // drop-tail queue, optional random loss, and an optional token-bucket policer
 // applied to UDP traffic (modelling EC2's artificial UDP rate limiting which
 // the paper observed capping UDT at ~10 MB/s).
+//
+// Beyond the benign model, the link is a fault-injection point: datagrams can
+// be duplicated, bit-corrupted, or reordered (delay-jitter model), and the
+// link itself can be taken down and brought back up (flaps). All fault draws
+// come from the link's private seeded Rng, so a fault scenario replays
+// bit-identically. The ChaosSchedule (chaos.hpp) drives these knobs on a
+// scripted timeline.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,19 @@ struct LinkConfig {
   std::size_t queue_capacity_bytes = 2 * 1024 * 1024;
   double random_loss_rate = 0.0;  ///< per-datagram iid loss probability
   std::optional<PolicerConfig> udp_policer;
+
+  // --- Fault injection (all off by default) ---
+  /// Probability a datagram is delivered twice (the copy re-enters the queue
+  /// behind the original and jitters independently).
+  double duplicate_rate = 0.0;
+  /// Probability a datagram arrives with bit errors (marked, not dropped:
+  /// the receiver's checksum decides its fate).
+  double corrupt_rate = 0.0;
+  /// Probability a datagram receives extra propagation delay, letting later
+  /// datagrams overtake it (delay-jitter reordering model).
+  double reorder_rate = 0.0;
+  /// Maximum extra one-way delay drawn uniformly for a jittered datagram.
+  Duration reorder_jitter = Duration::millis(0);
 };
 
 struct LinkStats {
@@ -35,6 +55,11 @@ struct LinkStats {
   std::uint64_t drops_random = 0;
   std::uint64_t drops_policer = 0;
   std::uint64_t bytes_delivered = 0;
+  // Per-fault counters (chaos observability).
+  std::uint64_t drops_link_down = 0;  ///< offered or queued while down
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t reordered = 0;
 };
 
 class Link {
@@ -43,7 +68,8 @@ class Link {
 
   Link(sim::Simulator& sim, LinkConfig config, DeliverFn deliver, Rng rng);
 
-  /// Offers a datagram to the link; may drop (policer, loss, queue overflow).
+  /// Offers a datagram to the link; may drop (down, policer, loss, queue
+  /// overflow), corrupt, or duplicate it.
   void send(const Datagram& dg);
 
   const LinkConfig& config() const { return config_; }
@@ -51,9 +77,21 @@ class Link {
   std::size_t queued_bytes() const { return queued_bytes_; }
 
   /// Runtime re-configuration hooks for experiments that vary the
-  /// environment mid-run (e.g. RTT step changes for learner adaptivity).
+  /// environment mid-run (e.g. RTT step changes for learner adaptivity)
+  /// and for the chaos harness.
   void set_propagation_delay(Duration d) { config_.propagation_delay = d; }
   void set_random_loss_rate(double p) { config_.random_loss_rate = p; }
+  void set_duplicate_rate(double p) { config_.duplicate_rate = p; }
+  void set_corrupt_rate(double p) { config_.corrupt_rate = p; }
+  void set_reorder(double rate, Duration jitter) {
+    config_.reorder_rate = rate;
+    config_.reorder_jitter = jitter;
+  }
+
+  /// Takes the link down (queued datagrams are lost, as on a dead cable) or
+  /// brings it back up. Datagrams already in flight still arrive.
+  void set_up(bool up);
+  bool is_up() const { return up_; }
 
  private:
   void start_transmission();
@@ -68,6 +106,7 @@ class Link {
   std::deque<Datagram> queue_;
   std::size_t queued_bytes_ = 0;
   bool transmitting_ = false;
+  bool up_ = true;
 
   // Token bucket state for the UDP policer.
   double tokens_ = 0.0;

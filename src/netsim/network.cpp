@@ -72,7 +72,36 @@ const Link* Network::link(HostId src, HostId dst) const {
   return it == links_.end() ? nullptr : it->second.get();
 }
 
+void Network::partition(const std::vector<std::vector<HostId>>& groups) {
+  partition_group_.clear();
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const HostId h : groups[g]) {
+      partition_group_[h] = static_cast<int>(g);
+    }
+  }
+}
+
+void Network::heal() { partition_group_.clear(); }
+
+bool Network::partitioned(HostId a, HostId b) const {
+  if (partition_group_.empty()) return false;
+  const auto ga = partition_group_.find(a);
+  const auto gb = partition_group_.find(b);
+  if (ga == partition_group_.end() || gb == partition_group_.end()) return false;
+  return ga->second != gb->second;
+}
+
+void Network::for_each_link(
+    const std::function<void(HostId, HostId, Link&)>& fn) {
+  for (auto& [key, l] : links_) fn(key.first, key.second, *l);
+}
+
 void Network::route(const Datagram& dg) {
+  if (partitioned(dg.src, dg.dst)) {
+    ++partition_drops_;
+    KMSG_TRACE("netsim") << "partition drop " << dg.src << " -> " << dg.dst;
+    return;
+  }
   auto* l = link(dg.src, dg.dst);
   if (l == nullptr) {
     ++routing_drops_;

@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "netsim/link.hpp"
 
@@ -69,10 +70,24 @@ class Network {
   const Link* link(HostId src, HostId dst) const;
 
   /// Routes a datagram: looks up the (src,dst) link and offers it. Datagrams
-  /// with no link are counted as routing drops (no implicit connectivity).
+  /// with no link are counted as routing drops (no implicit connectivity);
+  /// datagrams crossing an active partition are counted as partition drops.
   void route(const Datagram& dg);
 
   std::uint64_t routing_drops() const { return routing_drops_; }
+  std::uint64_t partition_drops() const { return partition_drops_; }
+
+  /// Partitions the network into host groups: traffic between hosts in
+  /// *different* groups is dropped; hosts not named in any group keep full
+  /// connectivity. Replaces any previous partition.
+  void partition(const std::vector<std::vector<HostId>>& groups);
+  /// Removes the active partition (all routes work again).
+  void heal();
+  /// True when an active partition separates a from b.
+  bool partitioned(HostId a, HostId b) const;
+
+  /// Applies `fn(src, dst, link)` to every link (chaos broadcast knobs).
+  void for_each_link(const std::function<void(HostId, HostId, Link&)>& fn);
 
  private:
   friend class Host;
@@ -82,6 +97,8 @@ class Network {
   std::vector<std::unique_ptr<Host>> hosts_;
   std::map<std::pair<HostId, HostId>, std::unique_ptr<Link>> links_;
   std::uint64_t routing_drops_ = 0;
+  std::uint64_t partition_drops_ = 0;
+  std::map<HostId, int> partition_group_;  ///< empty = no partition
 };
 
 }  // namespace kmsg::netsim

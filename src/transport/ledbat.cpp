@@ -269,6 +269,9 @@ void LedbatConnection::handle_data(const LedbatData& pkt) {
 
 void LedbatConnection::on_datagram(const netsim::Datagram& dg) {
   if (dg.src != peer_) return;
+  // LEDBAT runs over UDP whose checksum catches in-flight bit errors; the
+  // loss is repaired by the retransmission machinery like any other drop.
+  if (dg.corrupted) return;
   if (auto hs = std::dynamic_pointer_cast<const LedbatHandshake>(dg.body)) {
     if (!passive_ && hs->response && state_ == ConnState::kConnecting) {
       peer_port_ = dg.src_port;

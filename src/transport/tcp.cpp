@@ -446,6 +446,19 @@ void TcpConnection::on_datagram(const netsim::Datagram& dg) {
   if (!seg) return;
   if (dg.src != peer_) return;
 
+  if (dg.corrupted) {
+    // Header-only segments damaged in flight are caught by the transport
+    // checksum and discarded (loss recovery covers them). Payload-bearing
+    // segments model checksum-escaping bit errors: the header stays intact
+    // but a payload bit flips, leaving detection to the wire-framing CRC.
+    if (seg->payload.empty()) return;
+    auto mutated = std::make_shared<TcpSegment>(*seg);
+    auto& p = mutated->payload;
+    const std::size_t at = static_cast<std::size_t>(seg->seq) % p.size();
+    p[at] ^= static_cast<std::uint8_t>(1u << (seg->seq % 8));
+    seg = std::move(mutated);
+  }
+
   if (seg->flags & kRst) {
     finish_close();
     return;

@@ -93,6 +93,12 @@ void UdpEndpoint::expire_stale(TimePoint now) {
 void UdpEndpoint::on_datagram(const netsim::Datagram& dg) {
   auto frag = std::dynamic_pointer_cast<const UdpFragment>(dg.body);
   if (!frag || closed_) return;
+  if (dg.corrupted) {
+    // The UDP checksum catches in-flight bit errors; the datagram is dropped
+    // wholesale and any message it belonged to is lost (UDP is best-effort).
+    ++stats_.checksum_dropped;
+    return;
+  }
   const TimePoint now = host_.network_simulator().now();
   expire_stale(now);
 

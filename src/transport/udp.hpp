@@ -33,6 +33,7 @@ struct UdpStats {
   std::uint64_t fragments_sent = 0;
   std::uint64_t reassembly_expired = 0;
   std::uint64_t oversize_rejected = 0;
+  std::uint64_t checksum_dropped = 0;  ///< corrupted datagrams caught on receive
 };
 
 class UdpEndpoint final : public std::enable_shared_from_this<UdpEndpoint> {

@@ -495,6 +495,22 @@ void UdtConnection::send_nak_now() {
 void UdtConnection::on_datagram(const netsim::Datagram& dg) {
   if (dg.src != peer_) return;
 
+  if (dg.corrupted) {
+    // Same model as TCP: corrupted control packets are caught by the UDP
+    // checksum and dropped; corrupted data packets model checksum-escaping
+    // bit errors — flip one payload bit and let the framing CRC catch it.
+    auto data = std::dynamic_pointer_cast<const UdtData>(dg.body);
+    if (!data || data->payload.empty() || state_ == ConnState::kConnecting) {
+      return;
+    }
+    auto mutated = std::make_shared<UdtData>(*data);
+    auto& p = mutated->payload;
+    const std::size_t at = static_cast<std::size_t>(data->seq) % p.size();
+    p[at] ^= static_cast<std::uint8_t>(1u << (data->seq % 8));
+    handle_data(*mutated);
+    return;
+  }
+
   if (auto hs = std::dynamic_pointer_cast<const UdtHandshake>(dg.body)) {
     if (!passive_ && hs->response && state_ == ConnState::kConnecting) {
       peer_port_ = dg.src_port;

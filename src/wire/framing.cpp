@@ -1,17 +1,55 @@
 #include "wire/framing.hpp"
 
+#include <array>
 #include <cstring>
 
 namespace kmsg::wire {
 
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) {
+    c = kCrcTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
 std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload) {
   std::vector<std::uint8_t> out;
-  out.reserve(payload.size() + 4);
-  const auto len = static_cast<std::uint32_t>(payload.size());
-  out.push_back(static_cast<std::uint8_t>(len >> 24));
-  out.push_back(static_cast<std::uint8_t>(len >> 16));
-  out.push_back(static_cast<std::uint8_t>(len >> 8));
-  out.push_back(static_cast<std::uint8_t>(len));
+  out.reserve(payload.size() + kFrameHeaderBytes);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload));
   out.insert(out.end(), payload.begin(), payload.end());
   return out;
 }
@@ -20,20 +58,26 @@ bool FrameDecoder::feed(std::span<const std::uint8_t> chunk) {
   if (poisoned_) return false;
   buf_.insert(buf_.end(), chunk.begin(), chunk.end());
   std::size_t pos = 0;
-  while (buf_.size() - pos >= 4) {
-    const std::size_t len = (static_cast<std::size_t>(buf_[pos]) << 24) |
-                            (static_cast<std::size_t>(buf_[pos + 1]) << 16) |
-                            (static_cast<std::size_t>(buf_[pos + 2]) << 8) |
-                            static_cast<std::size_t>(buf_[pos + 3]);
+  while (buf_.size() - pos >= kFrameHeaderBytes) {
+    const auto len = static_cast<std::size_t>(get_u32(buf_.data() + pos));
     if (len > max_frame_) {
       poisoned_ = true;
       return false;
     }
-    if (buf_.size() - pos - 4 < len) break;
+    const std::uint32_t expected_crc = get_u32(buf_.data() + pos + 4);
+    if (buf_.size() - pos - kFrameHeaderBytes < len) break;
     std::vector<std::uint8_t> frame(
-        buf_.begin() + static_cast<std::ptrdiff_t>(pos + 4),
-        buf_.begin() + static_cast<std::ptrdiff_t>(pos + 4 + len));
-    pos += 4 + len;
+        buf_.begin() + static_cast<std::ptrdiff_t>(pos + kFrameHeaderBytes),
+        buf_.begin() +
+            static_cast<std::ptrdiff_t>(pos + kFrameHeaderBytes + len));
+    if (crc32(frame) != expected_crc) {
+      // Bit errors in flight: the length we just trusted may itself be
+      // damaged, so resynchronisation is not possible — poison the stream.
+      ++corrupt_;
+      poisoned_ = true;
+      return false;
+    }
+    pos += kFrameHeaderBytes + len;
     ++frames_;
     if (on_frame_) on_frame_(std::move(frame));
     if (poisoned_) return false;  // callback may have reset us

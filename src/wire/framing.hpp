@@ -1,10 +1,15 @@
-// Length-prefixed framing for stream transports.
+// Length-prefixed, checksummed framing for stream transports.
 //
 // The messaging layer writes one frame per serialised message into a TCP/UDT
 // byte stream; the decoder re-slices the stream into frames on the receiving
 // side regardless of how the transport segmented it. Frame layout:
-//   u32 big-endian payload length | payload bytes
-// A maximum frame size guards against corrupted-length runaway allocation.
+//   u32 big-endian payload length | u32 big-endian CRC-32 of payload | payload
+// A maximum frame size guards against corrupted-length runaway allocation,
+// and the CRC catches bit errors that escaped the transport's checksum (the
+// netsim chaos layer injects exactly those). A CRC mismatch poisons the
+// decoder: once any byte of the stream is untrusted, frame boundaries are
+// untrusted too, so the only safe recovery is tearing the connection down
+// and re-establishing the session (which the messaging layer does).
 #pragma once
 
 #include <cstdint>
@@ -18,7 +23,13 @@ namespace kmsg::wire {
 /// headroom for headers.
 inline constexpr std::size_t kDefaultMaxFrameBytes = 16 * 1024 * 1024;
 
-/// Prepends the length header to a payload (in place, returns new vector).
+/// Bytes of framing overhead per frame (length + CRC).
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of a byte span.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Prepends the length + CRC header to a payload (returns a new vector).
 std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload);
 
 /// Incremental frame decoder: feed arbitrary stream chunks; complete frames
@@ -33,18 +44,22 @@ class FrameDecoder {
   void set_on_frame(FrameFn fn) { on_frame_ = std::move(fn); }
 
   /// Consumes a stream chunk. Returns false (and poisons the decoder) if a
-  /// frame header exceeds the size limit — the stream is unrecoverable then.
+  /// frame header exceeds the size limit or a frame fails its CRC — the
+  /// stream is unrecoverable then.
   bool feed(std::span<const std::uint8_t> chunk);
 
   bool poisoned() const { return poisoned_; }
   std::size_t buffered_bytes() const { return buf_.size(); }
   std::uint64_t frames_decoded() const { return frames_; }
+  /// Frames rejected because their payload failed the CRC check.
+  std::uint64_t frames_corrupt() const { return corrupt_; }
 
  private:
   std::size_t max_frame_;
   std::vector<std::uint8_t> buf_;
   bool poisoned_ = false;
   std::uint64_t frames_ = 0;
+  std::uint64_t corrupt_ = 0;
   FrameFn on_frame_;
 };
 

@@ -1,0 +1,124 @@
+// Chaos soak: a long randomized-but-seeded fault timeline over the full
+// stack. Slower than the regular chaos tests, so it carries the `soak` ctest
+// label; run it with `ctest -L soak`. The scenario layers persistent loss,
+// reordering, duplication and a low corruption rate with seeded random link
+// flaps and two partition/heal cycles, while a reliable ping stream and a
+// bulk TCP transfer share the path. Exactly-once delivery and forward
+// progress must survive all of it.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/experiment.hpp"
+#include "apps/filetransfer.hpp"
+#include "apps/messages.hpp"
+#include "messaging/reliable.hpp"
+#include "netsim/chaos.hpp"
+
+namespace kmsg {
+namespace {
+
+using apps::PingMsg;
+using messaging::Transport;
+
+class Endpoint final : public kompics::ComponentDefinition {
+ public:
+  void setup() override {
+    net_ = &require<messaging::Network>();
+    subscribe<PingMsg>(*net_,
+                       [this](const PingMsg& p) { received.push_back(p.seq()); });
+  }
+  kompics::PortInstance& network() { return *net_; }
+  void send(messaging::MsgPtr m) { trigger(std::move(m), *net_); }
+  std::vector<std::uint64_t> received;
+
+ private:
+  kompics::PortInstance* net_ = nullptr;
+};
+
+TEST(ChaosSoakTest, LongRandomizedFaultTimelineStaysExactlyOnce) {
+  apps::ExperimentConfig cfg;
+  cfg.setup = netsim::Setup::kEuVpc;
+  cfg.seed = 99;
+  apps::TwoNodeExperiment exp(cfg);
+  messaging::register_reliable_serializers(*exp.registry());
+
+  messaging::ReliableConfig ra{exp.addr_a(), Duration::millis(200), 100,
+                               Transport::kUdp};
+  messaging::ReliableConfig rb{exp.addr_b(), Duration::millis(200), 100,
+                               Transport::kUdp};
+  auto& rc_a = exp.system().create<messaging::ReliableChannel>("rc_a", ra,
+                                                               exp.registry());
+  auto& rc_b = exp.system().create<messaging::ReliableChannel>("rc_b", rb,
+                                                               exp.registry());
+  exp.connect_a(rc_a.network_port());
+  exp.connect_b(rc_b.network_port());
+  auto& ep_a = exp.system().create<Endpoint>("ep_a");
+  auto& ep_b = exp.system().create<Endpoint>("ep_b");
+  exp.system().connect(rc_a.consumer_port(), ep_a.network());
+  exp.system().connect(rc_b.consumer_port(), ep_b.network());
+
+  apps::DataSourceConfig scfg;
+  scfg.self = exp.addr_a();
+  scfg.dst = exp.addr_b();
+  scfg.total_bytes = 0;  // stream for the whole soak
+  scfg.protocol = Transport::kTcp;
+  auto& source = exp.system().create<apps::DataSource>("source", scfg);
+  apps::DataSinkConfig kcfg;
+  kcfg.self = exp.addr_b();
+  kcfg.verify_payload = true;
+  auto& sink = exp.system().create<apps::DataSink>("sink", kcfg);
+  exp.connect_a(source.network());
+  exp.connect_b(sink.network());
+  exp.start();
+
+  const auto host_a = exp.addr_a().host;
+  const auto host_b = exp.addr_b().host;
+  netsim::ChaosSchedule chaos(exp.network(), /*seed=*/0x50a4);
+  chaos.loss_at(Duration::seconds(2.0), host_a, host_b, 0.03)
+      .reorder_at(Duration::seconds(2.0), host_a, host_b, 0.15,
+                  Duration::millis(8))
+      .duplicate_at(Duration::seconds(2.0), host_a, host_b, 0.05)
+      .corrupt_at(Duration::seconds(10.0), host_a, host_b, 0.001)
+      .corrupt_at(Duration::seconds(20.0), host_a, host_b, 0.0)
+      .partition_at(Duration::seconds(30.0), {{host_a}, {host_b}})
+      .heal_at(Duration::seconds(33.0))
+      .partition_at(Duration::seconds(60.0), {{host_a}, {host_b}})
+      .heal_at(Duration::seconds(62.0))
+      .random_flaps(10, Duration::seconds(40.0), Duration::seconds(90.0),
+                    Duration::millis(400));
+  chaos.arm();
+
+  // Pings spread over the first 100 s of the timeline, one every 500 ms.
+  const std::uint64_t n = 200;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    messaging::BasicHeader h{exp.addr_a(), exp.addr_b(), Transport::kUdp};
+    ep_a.send(kompics::make_event<PingMsg>(h, i, 0));
+    exp.run_for(Duration::millis(500));
+  }
+  exp.run_for(Duration::seconds(60.0));
+
+  // Exactly-once delivery through everything the schedule threw at it.
+  ASSERT_EQ(ep_b.received.size(), n);
+  std::set<std::uint64_t> unique(ep_b.received.begin(), ep_b.received.end());
+  EXPECT_EQ(unique.size(), n);
+  EXPECT_EQ(rc_a.reliable_stats().gave_up, 0u);
+  EXPECT_GT(rc_a.reliable_stats().retransmitted, 0u);
+
+  // The bulk stream made real progress and never surfaced corrupt data.
+  EXPECT_GT(sink.bytes_received(), 50u * 1024 * 1024);
+  EXPECT_EQ(sink.corrupt_chunks(), 0u);
+
+  // Every fault category fired, and the fault counters saw real traffic.
+  EXPECT_EQ(chaos.stats().partitions, 2u);
+  EXPECT_EQ(chaos.stats().heals, 2u);
+  EXPECT_EQ(chaos.stats().link_flaps, 20u);
+  EXPECT_GT(exp.network().partition_drops(), 0u);
+  const auto& ls = exp.network().link(host_a, host_b)->stats();
+  EXPECT_GT(ls.duplicated, 0u);
+  EXPECT_GT(ls.reordered, 0u);
+  EXPECT_GT(ls.drops_random, 0u);
+}
+
+}  // namespace
+}  // namespace kmsg

@@ -36,7 +36,8 @@ struct ReliableFixture : ::testing::Test {
   Endpoint* ep_a = nullptr;
   Endpoint* ep_b = nullptr;
 
-  void build(double loss_rate, Duration rto = Duration::millis(200)) {
+  void build(double loss_rate, Duration rto = Duration::millis(200),
+             Duration max_rto = Duration::seconds(8.0)) {
     apps::ExperimentConfig cfg;
     cfg.setup = netsim::Setup::kEuVpc;
     if (loss_rate > 0.0) {
@@ -49,6 +50,8 @@ struct ReliableFixture : ::testing::Test {
 
     ReliableConfig rcfg_a{exp->addr_a(), rto, 50, Transport::kUdp};
     ReliableConfig rcfg_b{exp->addr_b(), rto, 50, Transport::kUdp};
+    rcfg_a.max_retransmit_timeout = max_rto;
+    rcfg_b.max_retransmit_timeout = max_rto;
     rc_a = &exp->system().create<ReliableChannel>("rc_a", rcfg_a, exp->registry());
     rc_b = &exp->system().create<ReliableChannel>("rc_b", rcfg_b, exp->registry());
     exp->connect_a(rc_a->network_port());
@@ -115,8 +118,9 @@ TEST_F(ReliableFixture, UnmanagedTrafficPassesThrough) {
 }
 
 TEST_F(ReliableFixture, GivesUpAfterMaxRetries) {
-  // Break the path entirely after start: retransmissions must stop.
-  build(0.0, Duration::millis(100));
+  // Break the path entirely after start: retransmissions must stop. Backoff
+  // is capped at the base RTO so all 50 retries fit in the run window.
+  build(0.0, Duration::millis(100), Duration::millis(100));
   exp->run_for(Duration::millis(100));
   // Replace both link directions with 100% loss.
   auto dead = netsim::link_config_for(netsim::Setup::kEuVpc);
@@ -130,6 +134,22 @@ TEST_F(ReliableFixture, GivesUpAfterMaxRetries) {
   // apart from periodic status ticks (bounded check: retransmit count).
   const auto rexmit = rc_a->reliable_stats().retransmitted;
   EXPECT_LE(rexmit, 51u);
+}
+
+TEST_F(ReliableFixture, ExponentialBackoffSlowsRetransmission) {
+  // With backoff enabled (cap 2 s) a dead path sees far fewer retransmits
+  // than the fixed-RTO worst case: 0.1+0.2+0.4+0.8+1.6 then 2 s steps gives
+  // ~8 in a 10 s window, versus ~100 at a flat 100 ms RTO.
+  build(0.0, Duration::millis(100), Duration::seconds(2.0));
+  exp->run_for(Duration::millis(100));
+  auto dead = netsim::link_config_for(netsim::Setup::kEuVpc);
+  dead.random_loss_rate = 1.0;
+  exp->network().add_duplex_link(exp->addr_a().host, exp->addr_b().host, dead);
+  ep_a->send(ping(1));
+  exp->run_for(Duration::seconds(10.0));
+  const auto rexmit = rc_a->reliable_stats().retransmitted;
+  EXPECT_GE(rexmit, 5u);
+  EXPECT_LE(rexmit, 12u);
 }
 
 TEST_F(ReliableFixture, FifoRestoredOverUdp) {

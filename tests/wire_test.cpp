@@ -188,7 +188,7 @@ TEST(SnappyTest, OverlappingCopyRleSemantics) {
 TEST(FramingTest, EncodeDecodeSingleFrame) {
   std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
   auto framed = encode_frame(payload);
-  EXPECT_EQ(framed.size(), payload.size() + 4);
+  EXPECT_EQ(framed.size(), payload.size() + kFrameHeaderBytes);
   FrameDecoder dec;
   std::vector<std::vector<std::uint8_t>> frames;
   dec.set_on_frame([&](std::vector<std::uint8_t> f) { frames.push_back(std::move(f)); });
@@ -236,11 +236,43 @@ TEST(FramingTest, EmptyFrameAllowed) {
 
 TEST(FramingTest, OversizeFramePoisons) {
   FrameDecoder dec(1024);
-  std::vector<std::uint8_t> evil{0x00, 0x10, 0x00, 0x00};  // 1 MiB length
+  // 1 MiB length plus a (bogus) CRC word to complete the header.
+  std::vector<std::uint8_t> evil{0x00, 0x10, 0x00, 0x00, 0, 0, 0, 0};
   EXPECT_FALSE(dec.feed(evil));
   EXPECT_TRUE(dec.poisoned());
   const std::vector<std::uint8_t> one{1};
   EXPECT_FALSE(dec.feed(encode_frame(one)));  // stays poisoned
+}
+
+TEST(FramingTest, Crc32KnownVector) {
+  // IEEE CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  const std::string check = "123456789";
+  std::vector<std::uint8_t> data(check.begin(), check.end());
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(FramingTest, CorruptPayloadDetectedAndPoisons) {
+  std::vector<std::uint8_t> payload{10, 20, 30, 40, 50, 60};
+  auto framed = encode_frame(payload);
+  framed[kFrameHeaderBytes + 2] ^= 0x04;  // flip one payload bit in flight
+  FrameDecoder dec;
+  int delivered = 0;
+  dec.set_on_frame([&](std::vector<std::uint8_t>) { ++delivered; });
+  EXPECT_FALSE(dec.feed(framed));
+  EXPECT_TRUE(dec.poisoned());
+  EXPECT_EQ(dec.frames_corrupt(), 1u);
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(FramingTest, CorruptHeaderDetected) {
+  // A bit flip in the CRC word itself must also fail verification.
+  std::vector<std::uint8_t> payload{7, 7, 7};
+  auto framed = encode_frame(payload);
+  framed[5] ^= 0x80;  // inside the CRC field
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(framed));
+  EXPECT_EQ(dec.frames_corrupt(), 1u);
 }
 
 // --- Pipeline ---
