@@ -2,7 +2,16 @@
 // determine middleware throughput: ByteBuf encoding, the snappy-like codec,
 // frame decoding, message (de)serialisation, protocol-selection policies,
 // Sarsa(λ) steps, simulator event dispatch and Kompics event handling.
+//
+// Every benchmark additionally reports allocs_per_op / alloc_bytes_per_op via
+// the replaced global operator new below, so allocation regressions on the
+// hot paths show up in BENCH_micro.json alongside ns/op.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "adaptive/prp.hpp"
 #include "adaptive/psp.hpp"
@@ -13,9 +22,62 @@
 #include "wire/framing.hpp"
 #include "wire/snappy.hpp"
 
+// --- Counting allocator -----------------------------------------------------
+// Replaces the global allocation functions for this binary only. Relaxed
+// atomics: benchmarks are single-threaded, the counters just need to be sane.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace {
 
 using namespace kmsg;
+
+/// Snapshots the allocation counters on construction and publishes
+/// allocs_per_op / alloc_bytes_per_op when it goes out of scope (i.e. after
+/// the benchmark loop has finished and iterations() is final).
+class AllocScope {
+ public:
+  explicit AllocScope(benchmark::State& state)
+      : state_(state),
+        count0_(g_alloc_count.load(std::memory_order_relaxed)),
+        bytes0_(g_alloc_bytes.load(std::memory_order_relaxed)) {}
+  AllocScope(const AllocScope&) = delete;
+  AllocScope& operator=(const AllocScope&) = delete;
+  ~AllocScope() {
+    const auto iters =
+        static_cast<double>(std::max<std::int64_t>(state_.iterations(), 1));
+    state_.counters["allocs_per_op"] = benchmark::Counter(
+        static_cast<double>(g_alloc_count.load(std::memory_order_relaxed) -
+                            count0_) /
+        iters);
+    state_.counters["alloc_bytes_per_op"] = benchmark::Counter(
+        static_cast<double>(g_alloc_bytes.load(std::memory_order_relaxed) -
+                            bytes0_) /
+        iters);
+  }
+
+ private:
+  benchmark::State& state_;
+  std::uint64_t count0_;
+  std::uint64_t bytes0_;
+};
 
 std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
   std::vector<std::uint8_t> out(n);
@@ -31,6 +93,7 @@ std::vector<std::uint8_t> compressible_bytes(std::size_t n) {
 }
 
 void BM_ByteBufWritePrimitives(benchmark::State& state) {
+  AllocScope allocs(state);
   for (auto _ : state) {
     wire::ByteBuf buf;
     for (int i = 0; i < 100; ++i) {
@@ -67,6 +130,7 @@ void BM_SnappyDecompress(benchmark::State& state) {
 BENCHMARK(BM_SnappyDecompress);
 
 void BM_FrameDecode(benchmark::State& state) {
+  AllocScope allocs(state);
   std::vector<std::uint8_t> stream;
   for (int i = 0; i < 64; ++i) {
     auto f = wire::encode_frame(random_bytes(1000, static_cast<std::uint64_t>(i)));
@@ -75,7 +139,7 @@ void BM_FrameDecode(benchmark::State& state) {
   for (auto _ : state) {
     wire::FrameDecoder dec;
     std::size_t frames = 0;
-    dec.set_on_frame([&](std::vector<std::uint8_t>) { ++frames; });
+    dec.set_on_frame([&](wire::BufSlice) { ++frames; });
     dec.feed(stream);
     benchmark::DoNotOptimize(frames);
   }
@@ -85,11 +149,12 @@ void BM_FrameDecode(benchmark::State& state) {
 BENCHMARK(BM_FrameDecode);
 
 void BM_MessageSerializeRoundTrip(benchmark::State& state) {
+  AllocScope allocs(state);
   messaging::SerializerRegistry reg;
   apps::register_app_serializers(reg);
   messaging::DataHeader h{messaging::Address{1, 100}, messaging::Address{2, 200},
                           messaging::Transport::kTcp};
-  apps::DataChunkMsg chunk{h, 1, 0, apps::make_payload(0, 65000), false};
+  apps::DataChunkMsg chunk{h, 1, 0, apps::make_payload_slice(0, 65000), false};
   for (auto _ : state) {
     auto bytes = reg.serialize(chunk);
     auto msg = reg.deserialize(*bytes);
@@ -138,6 +203,7 @@ void BM_SarsaStep(benchmark::State& state) {
 BENCHMARK(BM_SarsaStep);
 
 void BM_SimulatorEventThroughput(benchmark::State& state) {
+  AllocScope allocs(state);
   for (auto _ : state) {
     sim::Simulator sim;
     for (int i = 0; i < 10000; ++i) {
@@ -181,6 +247,7 @@ class BenchConsumer final : public kompics::ComponentDefinition {
 };
 
 void BM_KompicsEventDispatch(benchmark::State& state) {
+  AllocScope allocs(state);
   sim::Simulator sim;
   kompics::KompicsSystem sys(sim);
   auto& prod = sys.create<BenchProducer>("p");
@@ -196,9 +263,10 @@ void BM_KompicsEventDispatch(benchmark::State& state) {
 BENCHMARK(BM_KompicsEventDispatch);
 
 void BM_PayloadGeneration(benchmark::State& state) {
+  AllocScope allocs(state);
   std::uint64_t offset = 0;
   for (auto _ : state) {
-    auto p = apps::make_payload(offset, 65000);
+    auto p = apps::make_payload_slice(offset, 65000);
     offset += 65000;
     benchmark::DoNotOptimize(p.data());
   }

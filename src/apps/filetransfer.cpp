@@ -63,7 +63,8 @@ void DataSource::send_chunk() {
                           ? DataHeader{config_.self, config_.dst}
                           : DataHeader{config_.self, config_.dst, config_.protocol};
   auto msg = std::make_shared<const DataChunkMsg>(
-      header, config_.transfer_id, next_offset_, make_payload(next_offset_, len),
+      header, config_.transfer_id, next_offset_,
+      make_payload_slice(next_offset_, len),
       last);
   next_offset_ += len;
   if (last) sent_all_ = true;

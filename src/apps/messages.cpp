@@ -21,7 +21,14 @@ std::vector<std::uint8_t> make_payload(std::uint64_t offset, std::size_t len) {
   return out;
 }
 
-bool verify_payload(std::uint64_t offset, const std::vector<std::uint8_t>& data) {
+wire::BufSlice make_payload_slice(std::uint64_t offset, std::size_t len) {
+  wire::ByteBuf buf{len};
+  auto span = buf.write_span(len);
+  for (std::size_t i = 0; i < len; ++i) span[i] = payload_byte(offset + i);
+  return std::move(buf).take_slice();
+}
+
+bool verify_payload(std::uint64_t offset, std::span<const std::uint8_t> data) {
   for (std::size_t i = 0; i < data.size(); ++i) {
     if (data[i] != payload_byte(offset + i)) return false;
   }
@@ -46,7 +53,8 @@ void register_app_serializers(messaging::SerializerRegistry& registry) {
         const std::uint64_t id = buf.read_varint();
         const std::uint64_t offset = buf.read_varint();
         const bool last = buf.read_bool();
-        auto bytes = buf.read_blob();
+        // Zero-copy: the chunk's payload stays a view of the frame's slab.
+        auto bytes = buf.read_blob_slice();
         DataHeader dh{h.source(), h.destination(), h.protocol()};
         return std::make_shared<const DataChunkMsg>(dh, id, offset,
                                                     std::move(bytes), last);

@@ -19,19 +19,31 @@ inline constexpr std::uint32_t kPingTypeId = 0x20;
 inline constexpr std::uint32_t kPongTypeId = 0x21;
 
 /// One 65 kB-class slice of a bulk transfer. Implements DataMsg so the
-/// adaptive interceptor can resolve Transport::DATA per message.
+/// adaptive interceptor can resolve Transport::DATA per message. The payload
+/// is a ref-counted slice: cloning the message for a protocol rewrite or
+/// deserialising it from a frame shares the backing slab instead of copying.
 class DataChunkMsg final : public messaging::Msg, public messaging::DataMsg {
  public:
   DataChunkMsg(messaging::DataHeader header, std::uint64_t transfer_id,
-               std::uint64_t offset, std::vector<std::uint8_t> bytes, bool last)
+               std::uint64_t offset, wire::BufSlice bytes, bool last)
       : header_(header),
         transfer_id_(transfer_id),
         offset_(offset),
         bytes_(std::move(bytes)),
         last_(last) {}
+  /// Compatibility: copies the vector into a pooled slab.
+  DataChunkMsg(messaging::DataHeader header, std::uint64_t transfer_id,
+               std::uint64_t offset, const std::vector<std::uint8_t>& bytes,
+               bool last)
+      : DataChunkMsg(header, transfer_id, offset,
+                     wire::BufSlice::copy_of({bytes.data(), bytes.size()}),
+                     last) {}
 
   const messaging::Header& header() const override { return header_; }
   std::uint32_t type_id() const override { return kDataChunkTypeId; }
+  std::size_t serialized_size_hint() const override {
+    return bytes_.size() + 64;
+  }
 
   messaging::MsgPtr with_protocol(messaging::Transport t) const override {
     return std::make_shared<const DataChunkMsg>(header_.with_protocol(t),
@@ -43,14 +55,15 @@ class DataChunkMsg final : public messaging::Msg, public messaging::DataMsg {
   const messaging::DataHeader& data_header() const { return header_; }
   std::uint64_t transfer_id() const { return transfer_id_; }
   std::uint64_t offset() const { return offset_; }
-  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::span<const std::uint8_t> bytes() const { return bytes_.span(); }
+  const wire::BufSlice& payload_slice() const { return bytes_; }
   bool last() const { return last_; }
 
  private:
   messaging::DataHeader header_;
   std::uint64_t transfer_id_;
   std::uint64_t offset_;
-  std::vector<std::uint8_t> bytes_;
+  wire::BufSlice bytes_;
   bool last_;
 };
 
@@ -117,6 +130,9 @@ void register_app_serializers(messaging::SerializerRegistry& registry);
 /// absolute `offset` depends only on the global position, so any receiver
 /// can verify content without sharing state with the sender.
 std::vector<std::uint8_t> make_payload(std::uint64_t offset, std::size_t len);
-bool verify_payload(std::uint64_t offset, const std::vector<std::uint8_t>& data);
+/// Generates the payload directly into a pooled slab — the "initial write"
+/// of the zero-copy pipeline (no intermediate vector).
+wire::BufSlice make_payload_slice(std::uint64_t offset, std::size_t len);
+bool verify_payload(std::uint64_t offset, std::span<const std::uint8_t> data);
 
 }  // namespace kmsg::apps

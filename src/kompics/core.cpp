@@ -20,10 +20,13 @@ void PortInstance::subscribe(std::unique_ptr<HandlerBase> handler) {
 }
 
 void PortInstance::publish(const EventPtr& ev) {
-  // Broadcast to all connected channels; iteration over a copy keeps the
-  // loop safe if a handler connects/disconnects channels reentrantly.
-  const auto channels = channels_;
-  for (Channel* ch : channels) {
+  // Broadcast to all connected channels. Index iteration (with the size
+  // re-read each step) tolerates channels appended reentrantly from a
+  // handler without copying the vector per event — publish is the hottest
+  // call in the dispatch path. Reentrant *disconnects* are handled by
+  // forward_* checking the channel's detached state.
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    Channel* ch = channels_[i];
     if (provided_) {
       ch->forward_indication(ev);
     } else {

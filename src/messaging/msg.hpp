@@ -33,6 +33,11 @@ class Msg : public kompics::KompicsEvent {
   virtual const Header& header() const = 0;
   /// Serializer-registry selector for this concrete message type.
   virtual std::uint32_t type_id() const = 0;
+  /// Upper-bound estimate of the serialised envelope + body size, letting
+  /// the serialiser reserve its buffer up front (one slab acquisition, no
+  /// growth copies). The default covers small control messages; bulk
+  /// messages should override with payload size + slack.
+  virtual std::size_t serialized_size_hint() const { return 64; }
 };
 
 using MsgPtr = std::shared_ptr<const Msg>;

@@ -72,10 +72,10 @@ void NetworkComponent::start_listeners() {
   if (config_.listen_udp) {
     udp_ = transport::UdpEndpoint::open(host_, self.port, config_.udp);
     if (udp_) {
-      udp_->set_on_message([this](netsim::HostId, netsim::Port,
-                                  std::vector<std::uint8_t> payload) {
-        deliver_udp(std::move(payload));
-      });
+      udp_->set_on_message(
+          [this](netsim::HostId, netsim::Port, wire::BufSlice payload) {
+            deliver_udp(std::move(payload));
+          });
     } else {
       KMSG_ERROR("network") << "UDP bind failed on port " << self.port;
     }
@@ -171,7 +171,8 @@ void NetworkComponent::handle_outgoing(MsgPtr msg, std::optional<NotifyId> notif
   }
   const std::size_t payload_bytes = serialized->size();
   auto processed = pipeline_.process_outbound(std::move(*serialized));
-  auto framed = wire::encode_frame(processed);
+  // Header goes into the serialise slab's headroom: framing copies nothing.
+  auto framed = wire::encode_frame_slice(std::move(processed));
 
   Session& s = session_for(h.destination().with_vnode(0), proto);
   if (s.queued_bytes + framed.size() > config_.session_queue_limit_bytes) {
@@ -277,8 +278,8 @@ void NetworkComponent::open_session(Session& s) {
 void NetworkComponent::drain(Session& s) {
   while (!s.queue.empty()) {
     PendingFrame& f = s.queue.front();
-    std::span<const std::uint8_t> rest{f.bytes.data() + f.offset,
-                                       f.bytes.size() - f.offset};
+    const std::span<const std::uint8_t> rest =
+        f.bytes.span().subspan(f.offset);
     const std::size_t n = s.conn->write(rest);
     f.offset += n;
     if (f.offset < f.bytes.size()) break;  // transport backpressure
@@ -345,7 +346,7 @@ void NetworkComponent::attach_inbound(
   in->transport = t;
   in->decoder = std::make_unique<wire::FrameDecoder>();
   in->decoder->set_on_frame(
-      [this](std::vector<std::uint8_t> frame) { deliver_frame(std::move(frame)); });
+      [this](wire::BufSlice frame) { deliver_frame(std::move(frame)); });
   Inbound* raw = in.get();
   conn->set_on_data([this, raw](std::span<const std::uint8_t> chunk) {
     if (!raw->decoder->feed(chunk)) {
@@ -374,23 +375,25 @@ void NetworkComponent::remove_inbound(transport::StreamConnection* conn) {
                  inbound_.end());
 }
 
-void NetworkComponent::deliver_frame(std::vector<std::uint8_t> frame) {
+void NetworkComponent::deliver_frame(wire::BufSlice frame) {
   auto inbound = pipeline_.process_inbound(std::move(frame));
   if (!inbound) {
     ++stats_.deserialize_failures;
     return;
   }
-  auto msg = registry_->deserialize(*inbound);
+  const std::size_t inbound_bytes = inbound->size();
+  // The deserialised message's payload stays a view of this same slab.
+  auto msg = registry_->deserialize(std::move(*inbound));
   if (!msg) {
     ++stats_.deserialize_failures;
     return;
   }
   ++stats_.msgs_received;
-  stats_.bytes_received += inbound->size();
+  stats_.bytes_received += inbound_bytes;
   trigger(msg, *net_port_);
 }
 
-void NetworkComponent::deliver_udp(std::vector<std::uint8_t> payload) {
+void NetworkComponent::deliver_udp(wire::BufSlice payload) {
   deliver_frame(std::move(payload));
 }
 

@@ -107,7 +107,7 @@ class NetworkComponent final : public kompics::ComponentDefinition {
 
  private:
   struct PendingFrame {
-    std::vector<std::uint8_t> bytes;
+    wire::BufSlice bytes;    // framed message (a view of the serialise slab)
     std::size_t offset = 0;  // bytes already written to the transport
     std::optional<NotifyId> notify;
     std::size_t payload_bytes = 0;  // pre-framing size, for the notify
@@ -142,8 +142,8 @@ class NetworkComponent final : public kompics::ComponentDefinition {
   void attach_inbound(std::shared_ptr<transport::StreamConnection> conn,
                       Transport t, bool manage_close = true);
   void remove_inbound(transport::StreamConnection* conn);
-  void deliver_frame(std::vector<std::uint8_t> frame);
-  void deliver_udp(std::vector<std::uint8_t> payload);
+  void deliver_frame(wire::BufSlice frame);
+  void deliver_udp(wire::BufSlice payload);
   void notify_result(NotifyId id, DeliveryStatus status, Transport via,
                      std::size_t bytes);
   void start_listeners();

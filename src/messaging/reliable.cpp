@@ -12,11 +12,12 @@ void register_reliable_serializers(SerializerRegistry& registry) {
       [](const Msg& m, wire::ByteBuf& buf) {
         const auto& e = dynamic_cast<const ReliableEnvelope&>(m);
         buf.write_varint(e.seq());
-        buf.write_blob(e.payload());
+        buf.write_blob(e.payload().span());
       },
       [](const BasicHeader& h, wire::ByteBuf& buf) -> MsgPtr {
         const std::uint64_t seq = buf.read_varint();
-        auto payload = buf.read_blob();
+        // Zero-copy: the payload stays a view of the inbound frame's slab.
+        auto payload = buf.read_blob_slice();
         return std::make_shared<const ReliableEnvelope>(h, seq, std::move(payload));
       });
   registry.register_type(

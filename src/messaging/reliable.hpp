@@ -31,22 +31,27 @@ inline constexpr std::uint32_t kReliableEnvelopeTypeId = 0x30;
 inline constexpr std::uint32_t kReliableAckTypeId = 0x31;
 
 /// Envelope: carries the application payload's serialised bytes plus the
-/// (flow, sequence) pair used for retransmission and deduplication.
+/// (flow, sequence) pair used for retransmission and deduplication. The
+/// payload is a ref-counted slice of the inner message's serialise slab —
+/// wrapping does not copy it, and on receive it stays a view of the frame.
 class ReliableEnvelope final : public Msg {
  public:
   ReliableEnvelope(BasicHeader header, std::uint64_t seq,
-                   std::vector<std::uint8_t> payload_bytes)
+                   wire::BufSlice payload_bytes)
       : header_(header), seq_(seq), payload_(std::move(payload_bytes)) {}
 
   const Header& header() const override { return header_; }
   std::uint32_t type_id() const override { return kReliableEnvelopeTypeId; }
+  std::size_t serialized_size_hint() const override {
+    return payload_.size() + 64;
+  }
   std::uint64_t seq() const { return seq_; }
-  const std::vector<std::uint8_t>& payload() const { return payload_; }
+  const wire::BufSlice& payload() const { return payload_; }
 
  private:
   BasicHeader header_;
   std::uint64_t seq_;
-  std::vector<std::uint8_t> payload_;  ///< serialised inner message
+  wire::BufSlice payload_;  ///< serialised inner message
 };
 
 class ReliableAck final : public Msg {

@@ -1,62 +1,86 @@
 #include "messaging/serialization.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "wire/framing.hpp"
+#include "wire/pipeline.hpp"
 
 namespace kmsg::messaging {
 
+namespace {
+/// Headroom reserved ahead of the envelope so the compression tag and the
+/// frame header can both be prepended in place (no payload copy).
+constexpr std::size_t kEnvelopeHeadroom =
+    wire::kPipelineHeadroomBytes + wire::kFrameHeaderBytes;
+}  // namespace
+
+const SerializerRegistry::Entry* SerializerRegistry::find(
+    std::uint32_t type_id) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), type_id,
+      [](const Entry& e, std::uint32_t id) { return e.type_id < id; });
+  if (it == entries_.end() || it->type_id != type_id) return nullptr;
+  return &*it;
+}
+
 void SerializerRegistry::register_type(std::uint32_t type_id, SerializeFn ser,
                                        DeserializeFn deser) {
-  auto [it, inserted] =
-      entries_.try_emplace(type_id, Entry{std::move(ser), std::move(deser)});
-  (void)it;
-  if (!inserted) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), type_id,
+      [](const Entry& e, std::uint32_t id) { return e.type_id < id; });
+  if (it != entries_.end() && it->type_id == type_id) {
     throw std::logic_error("SerializerRegistry: duplicate type id " +
                            std::to_string(type_id));
   }
+  entries_.insert(it, Entry{type_id, std::move(ser), std::move(deser)});
 }
 
-std::optional<std::vector<std::uint8_t>> SerializerRegistry::serialize(
+std::optional<wire::BufSlice> SerializerRegistry::serialize(
     const Msg& msg, std::optional<Transport> protocol_override) const {
-  auto it = entries_.find(msg.type_id());
-  if (it == entries_.end()) {
+  const Entry* entry = find(msg.type_id());
+  if (!entry) {
     ++unknown_;
     KMSG_WARN("serialization") << "no serializer for type id " << msg.type_id();
     return std::nullopt;
   }
-  wire::ByteBuf buf;
+  wire::ByteBuf buf{msg.serialized_size_hint(), kEnvelopeHeadroom};
   buf.write_varint(msg.type_id());
   const Header& h = msg.header();
   h.source().serialize(buf);
   h.destination().serialize(buf);
   buf.write_u8(static_cast<std::uint8_t>(protocol_override.value_or(h.protocol())));
-  it->second.ser(msg, buf);
+  entry->ser(msg, buf);
   ++serialized_;
-  return std::move(buf).take();
+  return std::move(buf).take_slice();
 }
 
-MsgPtr SerializerRegistry::deserialize(std::span<const std::uint8_t> bytes) const {
+MsgPtr SerializerRegistry::deserialize(wire::BufSlice bytes) const {
   try {
-    wire::ByteBuf buf = wire::ByteBuf::wrap(bytes);
+    wire::ByteBuf buf = wire::ByteBuf::wrap(std::move(bytes));
     const auto type_id = static_cast<std::uint32_t>(buf.read_varint());
     const Address src = Address::deserialize(buf);
     const Address dst = Address::deserialize(buf);
     const auto proto = static_cast<Transport>(buf.read_u8());
-    auto it = entries_.find(type_id);
-    if (it == entries_.end()) {
+    const Entry* entry = find(type_id);
+    if (!entry) {
       ++unknown_;
       KMSG_WARN("serialization") << "no deserializer for type id " << type_id;
       return nullptr;
     }
     BasicHeader header{src, dst, proto};
-    auto msg = it->second.deser(header, buf);
+    auto msg = entry->deser(header, buf);
     if (msg) ++deserialized_;
     return msg;
   } catch (const std::out_of_range&) {
     KMSG_WARN("serialization") << "malformed message frame";
     return nullptr;
   }
+}
+
+MsgPtr SerializerRegistry::deserialize(std::span<const std::uint8_t> bytes) const {
+  return deserialize(wire::BufSlice::borrowed(bytes));
 }
 
 }  // namespace kmsg::messaging

@@ -5,13 +5,21 @@
 // kind, addresses, and protocol. This mirrors the paper's setup where the
 // NettyNetwork component drives Netty's serialisation handlers and
 // applications only register per-type codecs.
+//
+// The type-id table is a sorted flat vector searched by binary search —
+// registration happens at startup, lookup on every message — and serialize()
+// reserves the envelope buffer up front (Msg::serialized_size_hint) with
+// headroom so the pipeline and framing layers can prepend in place. The
+// serialised message travels as a ref-counted wire::BufSlice: payload bytes
+// are written once here and read in place by every later layer.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "messaging/msg.hpp"
 #include "wire/bytebuf.hpp"
@@ -26,17 +34,23 @@ class SerializerRegistry {
   using DeserializeFn = std::function<MsgPtr(const BasicHeader&, wire::ByteBuf&)>;
 
   void register_type(std::uint32_t type_id, SerializeFn ser, DeserializeFn deser);
-  bool knows(std::uint32_t type_id) const { return entries_.count(type_id) > 0; }
+  bool knows(std::uint32_t type_id) const { return find(type_id) != nullptr; }
 
   /// Serialises envelope + body. Returns std::nullopt if the type id is
   /// unregistered. `protocol_override` replaces the header's protocol in the
-  /// envelope (used when the network resolves DATA fallbacks).
-  std::optional<std::vector<std::uint8_t>> serialize(
+  /// envelope (used when the network resolves DATA fallbacks). The returned
+  /// slice carries headroom for in-place pipeline/frame-header prepends.
+  std::optional<wire::BufSlice> serialize(
       const Msg& msg, std::optional<Transport> protocol_override = {}) const;
 
-  /// Parses envelope + body. Returns nullptr on malformed input or unknown
-  /// type id. The reconstructed message sees a BasicHeader (routing headers
-  /// are flattened to their wire form: current source/destination/protocol).
+  /// Parses envelope + body from an owning slice: the rebuilt message's
+  /// payload is a sub-slice of `bytes` (zero-copy). Returns nullptr on
+  /// malformed input or unknown type id. The reconstructed message sees a
+  /// BasicHeader (routing headers are flattened to their wire form: current
+  /// source/destination/protocol).
+  MsgPtr deserialize(wire::BufSlice bytes) const;
+
+  /// Compatibility overload for borrowed bytes (payloads are copied out).
   MsgPtr deserialize(std::span<const std::uint8_t> bytes) const;
 
   std::uint64_t messages_serialized() const { return serialized_; }
@@ -45,10 +59,14 @@ class SerializerRegistry {
 
  private:
   struct Entry {
+    std::uint32_t type_id;
     SerializeFn ser;
     DeserializeFn deser;
   };
-  std::map<std::uint32_t, Entry> entries_;
+  const Entry* find(std::uint32_t type_id) const;
+
+  /// Sorted by type_id; binary-searched on the per-message hot path.
+  std::vector<Entry> entries_;
   mutable std::uint64_t serialized_ = 0;
   mutable std::uint64_t deserialized_ = 0;
   mutable std::uint64_t unknown_ = 0;

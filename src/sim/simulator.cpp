@@ -4,11 +4,12 @@
 
 namespace kmsg::sim {
 
-EventHandle Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
+EventHandle Simulator::schedule_at(TimePoint at, SmallFn fn) {
   if (at < now_) at = now_;
-  auto flag = std::make_shared<bool>(false);
-  queue_.push(Entry{at, next_seq_++, std::move(fn), flag});
-  return EventHandle{std::move(flag)};
+  const std::uint32_t slot = slots_->acquire();
+  const std::uint32_t gen = slots_->slots[slot].gen;
+  queue_.push(Entry{at, next_seq_++, slot, gen, std::move(fn)});
+  return EventHandle{slots_, slot, gen};
 }
 
 bool Simulator::step() {
@@ -16,12 +17,17 @@ bool Simulator::step() {
     // const_cast is safe: we pop immediately after moving the closure out,
     // and the heap ordering does not depend on `fn`.
     auto& top = const_cast<Entry&>(queue_.top());
-    if (top.cancelled && *top.cancelled) {
+    if (slots_->is_cancelled(top.slot, top.gen)) {
+      slots_->release(top.slot);
       queue_.pop();
       continue;
     }
     now_ = top.at;
     auto fn = std::move(top.fn);
+    // Release the slot before running: a cancel() from inside the callback
+    // (or later) must be a no-op, and the callback may schedule new events
+    // that recycle the slot under a fresh generation.
+    slots_->release(top.slot);
     queue_.pop();
     ++executed_;
     fn();
@@ -40,7 +46,8 @@ std::uint64_t Simulator::run_until(TimePoint until) {
   std::uint64_t n = 0;
   while (!queue_.empty()) {
     const auto& top = queue_.top();
-    if (top.cancelled && *top.cancelled) {
+    if (slots_->is_cancelled(top.slot, top.gen)) {
+      slots_->release(top.slot);
       queue_.pop();
       continue;
     }

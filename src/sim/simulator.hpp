@@ -5,41 +5,98 @@
 // timed behaviour in the simulated stack — link serialisation, protocol
 // timers, Kompics timers, learner episodes — is expressed as events here, so
 // a fixed seed yields a bit-identical run.
+//
+// The event hot path is allocation-free: closures are stored as SmallFn
+// (small-buffer optimised, see common/small_fn.hpp) directly inside the heap
+// entries, and cancellation uses a slot/generation table shared by all
+// handles of a simulator instead of one shared_ptr<bool> per event. The only
+// allocations are amortised container growth.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
 #include <vector>
 
+#include "common/small_fn.hpp"
 #include "common/time.hpp"
 
 namespace kmsg::sim {
 
-/// Handle to a scheduled event; allows cancellation. Copies share the
-/// cancellation flag. A default-constructed handle is inert.
+namespace detail {
+
+/// One slot per in-flight event. The generation counter disambiguates
+/// handles from earlier events that recycled the same slot.
+struct SlotTable {
+  enum State : std::uint8_t { kLive = 0, kCancelled = 1 };
+  struct Slot {
+    std::uint32_t gen = 0;
+    std::uint8_t state = kLive;
+  };
+  std::vector<Slot> slots;
+  std::vector<std::uint32_t> free;
+
+  std::uint32_t acquire() {
+    if (!free.empty()) {
+      const std::uint32_t i = free.back();
+      free.pop_back();
+      slots[i].state = kLive;
+      return i;
+    }
+    slots.push_back(Slot{});
+    return static_cast<std::uint32_t>(slots.size() - 1);
+  }
+  /// Invalidates all outstanding handles for the slot and recycles it.
+  void release(std::uint32_t i) {
+    ++slots[i].gen;
+    slots[i].state = kLive;
+    free.push_back(i);
+  }
+  bool is_cancelled(std::uint32_t i, std::uint32_t gen) const {
+    return slots[i].gen == gen && slots[i].state == kCancelled;
+  }
+};
+
+}  // namespace detail
+
+/// Handle to a scheduled event; allows cancellation. Copies address the same
+/// underlying event (cancelling any copy cancels the event). A
+/// default-constructed handle is inert.
 class EventHandle {
  public:
   EventHandle() = default;
   /// Cancels the event if it has not fired yet. Idempotent.
   void cancel() {
-    if (cancelled_) *cancelled_ = true;
+    if (!table_) return;
+    auto& slot = table_->slots[slot_];
+    if (slot.gen == gen_) {
+      slot.state = detail::SlotTable::kCancelled;
+      cancelled_ = true;
+    }
   }
-  bool valid() const { return static_cast<bool>(cancelled_); }
-  bool cancelled() const { return cancelled_ && *cancelled_; }
+  bool valid() const { return static_cast<bool>(table_); }
+  /// True when this handle (or the event, while still queued) was cancelled.
+  bool cancelled() const {
+    if (cancelled_) return true;
+    return table_ && table_->is_cancelled(slot_, gen_);
+  }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(std::shared_ptr<detail::SlotTable> table, std::uint32_t slot,
+              std::uint32_t gen)
+      : table_(std::move(table)), slot_(slot), gen_(gen) {}
+  std::shared_ptr<detail::SlotTable> table_;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
+  bool cancelled_ = false;
 };
 
 /// The simulator. Also a Clock, so components can be handed `sim` wherever a
 /// time source is needed.
 class Simulator final : public Clock {
  public:
-  Simulator() = default;
+  Simulator() : slots_(std::make_shared<detail::SlotTable>()) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -48,10 +105,10 @@ class Simulator final : public Clock {
   /// Schedules `fn` to run at absolute time `at`. Scheduling in the past
   /// (including "now") is clamped to now and runs after already-queued events
   /// for the current instant.
-  EventHandle schedule_at(TimePoint at, std::function<void()> fn);
+  EventHandle schedule_at(TimePoint at, SmallFn fn);
 
   /// Schedules `fn` to run after `delay` from now.
-  EventHandle schedule_after(Duration delay, std::function<void()> fn) {
+  EventHandle schedule_after(Duration delay, SmallFn fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
@@ -76,8 +133,9 @@ class Simulator final : public Clock {
   struct Entry {
     TimePoint at;
     std::uint64_t seq;  // deterministic FIFO tie-break
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint32_t gen;
+    SmallFn fn;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -89,6 +147,7 @@ class Simulator final : public Clock {
   TimePoint now_ = TimePoint::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::shared_ptr<detail::SlotTable> slots_;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
 

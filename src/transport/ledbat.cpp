@@ -254,11 +254,11 @@ void LedbatConnection::handle_ack(const LedbatAck& pkt) {
 void LedbatConnection::handle_data(const LedbatData& pkt) {
   const Duration one_way =
       simulator().now() - TimePoint::from_nanos(pkt.send_ts_ns);
-  auto deliverable = reasm_.offer(pkt.seq, pkt.payload);
-  if (!deliverable.empty()) {
-    stats_.bytes_delivered += deliverable.size();
-    if (on_data_) on_data_(deliverable);
-  }
+  reasm_.offer_span(pkt.seq, {pkt.payload.data(), pkt.payload.size()},
+                    [this](std::span<const std::uint8_t> run) {
+                      stats_.bytes_delivered += run.size();
+                      if (on_data_) on_data_(run);
+                    });
   auto ack = std::make_shared<LedbatAck>();
   ack->ack_to = reasm_.expected();
   ack->window = static_cast<std::uint32_t>(

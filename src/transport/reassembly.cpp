@@ -1,80 +1,42 @@
 #include "transport/reassembly.hpp"
 
 #include <algorithm>
-#include <cstring>
 
 namespace kmsg::transport {
 
-std::vector<std::uint8_t> ReassemblyBuffer::offer(std::uint64_t at,
-                                                  std::vector<std::uint8_t> data) {
-  std::vector<std::uint8_t> out;
-  if (data.empty()) return out;
-  std::uint64_t seg_end = at + data.size();
-  highest_seen_ = std::max(highest_seen_, seg_end);
-
-  // Trim anything already delivered.
-  if (seg_end <= expected_) return out;
-  if (at < expected_) {
-    const std::size_t trim = static_cast<std::size_t>(expected_ - at);
-    data.erase(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(trim));
-    at = expected_;
+void ReassemblyBuffer::park(std::uint64_t at, std::span<const std::uint8_t> data,
+                            std::uint64_t seg_end) {
+  // Trim against a predecessor that overlaps our start.
+  auto it = segments_.upper_bound(at);
+  if (it != segments_.begin()) {
+    auto prev = std::prev(it);
+    const std::uint64_t prev_end = prev->first + prev->second.size();
+    if (prev_end >= seg_end) return;  // fully covered
+    if (prev_end > at) {
+      data = data.subspan(static_cast<std::size_t>(prev_end - at));
+      at = prev_end;
+    }
   }
-
-  if (at == expected_) {
-    // Fast path: extends the contiguous prefix directly.
-    out = std::move(data);
-    expected_ += out.size();
-  } else {
-    // Park out of order, trimming overlap with already-parked segments.
-    // First trim against a predecessor that overlaps our start.
-    auto it = segments_.upper_bound(at);
-    if (it != segments_.begin()) {
-      auto prev = std::prev(it);
-      const std::uint64_t prev_end = prev->first + prev->second.size();
-      if (prev_end >= seg_end) return out;  // fully covered
-      if (prev_end > at) {
-        const std::size_t trim = static_cast<std::size_t>(prev_end - at);
-        data.erase(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(trim));
-        at = prev_end;
-      }
+  // Then trim our tail against successors (drop covered successors).
+  while (true) {
+    auto next = segments_.lower_bound(at);
+    if (next == segments_.end() || next->first >= at + data.size()) break;
+    const std::uint64_t next_end = next->first + next->second.size();
+    if (next_end <= at + data.size()) {
+      buffered_ -= next->second.size();
+      segments_.erase(next);
+      continue;
     }
-    // Then trim our tail against successors (drop covered successors).
-    while (true) {
-      auto next = segments_.lower_bound(at);
-      if (next == segments_.end() || next->first >= at + data.size()) break;
-      const std::uint64_t next_end = next->first + next->second.size();
-      if (next_end <= at + data.size()) {
-        buffered_ -= next->second.size();
-        segments_.erase(next);
-        continue;
-      }
-      data.resize(static_cast<std::size_t>(next->first - at));
-      break;
-    }
-    if (data.empty()) return out;
-    if (buffered_ + data.size() > capacity_) {
-      ++drops_;
-      return out;  // receive buffer overflow: segment lost
-    }
-    buffered_ += data.size();
-    segments_.emplace(at, std::move(data));
-    return out;
+    data = data.first(static_cast<std::size_t>(next->first - at));
+    break;
   }
-
-  // The prefix advanced; absorb any now-contiguous parked segments.
-  for (auto it = segments_.begin(); it != segments_.end();) {
-    if (it->first > expected_) break;
-    auto& seg = it->second;
-    const std::uint64_t it_end = it->first + seg.size();
-    if (it_end > expected_) {
-      const std::size_t skip = static_cast<std::size_t>(expected_ - it->first);
-      out.insert(out.end(), seg.begin() + static_cast<std::ptrdiff_t>(skip), seg.end());
-      expected_ = it_end;
-    }
-    buffered_ -= seg.size();
-    it = segments_.erase(it);
+  if (data.empty()) return;
+  if (buffered_ + data.size() > capacity_) {
+    ++drops_;
+    return;  // receive buffer overflow: segment lost
   }
-  return out;
+  buffered_ += data.size();
+  segments_.emplace(at, std::vector<std::uint8_t>(data.begin(), data.end()));
 }
 
 std::vector<std::pair<std::uint64_t, std::uint64_t>> ReassemblyBuffer::missing_ranges(

@@ -497,11 +497,13 @@ void TcpConnection::handle_established(const TcpSegment& seg) {
   if (config_.sack && !seg.sack_holes.empty()) handle_sack(seg.sack_holes);
 
   if (!seg.payload.empty()) {
-    auto deliverable = reasm_.offer(seg.seq, seg.payload);
-    if (!deliverable.empty()) {
-      stats_.bytes_delivered += deliverable.size();
-      if (on_data_) on_data_(deliverable);
-    }
+    // In-order segments reach the application as spans of the segment's own
+    // payload — no reassembly copy on the common path.
+    reasm_.offer_span(seg.seq, {seg.payload.data(), seg.payload.size()},
+                      [this](std::span<const std::uint8_t> run) {
+                        stats_.bytes_delivered += run.size();
+                        if (on_data_) on_data_(run);
+                      });
     // Acknowledge all data (also out-of-order: dup ACKs drive fast rexmit).
     send_ack();
   }

@@ -4,6 +4,8 @@
 #include <tuple>
 #include <utility>
 
+#include "wire/bytebuf.hpp"
+
 namespace kmsg::transport {
 
 namespace {
@@ -14,7 +16,8 @@ struct UdpFragment : netsim::DatagramBody {
   std::uint64_t message_id = 0;
   std::uint32_t index = 0;
   std::uint32_t count = 0;
-  std::vector<std::uint8_t> payload;
+  /// View into the sender's message slab — fragmentation copies nothing.
+  wire::BufSlice payload;
 };
 
 UdpEndpoint::UdpEndpoint(netsim::Host& host, UdpConfig config)
@@ -46,12 +49,15 @@ void UdpEndpoint::close() {
 }
 
 bool UdpEndpoint::send(netsim::HostId dst, netsim::Port dst_port,
-                       std::vector<std::uint8_t> payload) {
+                       wire::BufSlice payload) {
   if (closed_) return false;
   if (payload.size() > config_.max_message_bytes) {
     ++stats_.oversize_rejected;
     return false;
   }
+  // Fragments outlive this call inside datagram bodies, so a borrowed view
+  // must be promoted to an owning slice first (no-op when already owning).
+  payload = payload.to_owned();
   const std::size_t mtu = config_.mtu_payload;
   const auto count = static_cast<std::uint32_t>(
       payload.empty() ? 1 : (payload.size() + mtu - 1) / mtu);
@@ -63,8 +69,7 @@ bool UdpEndpoint::send(netsim::HostId dst, netsim::Port dst_port,
     frag->count = count;
     const std::size_t off = static_cast<std::size_t>(i) * mtu;
     const std::size_t len = std::min(mtu, payload.size() - off);
-    frag->payload.assign(payload.begin() + static_cast<std::ptrdiff_t>(off),
-                         payload.begin() + static_cast<std::ptrdiff_t>(off + len));
+    frag->payload = payload.slice(off, len);
     netsim::Datagram dg;
     dg.dst = dst;
     dg.src_port = port_;
@@ -116,17 +121,19 @@ void UdpEndpoint::on_datagram(const netsim::Datagram& dg) {
   }
   if (frag->index >= pm.fragments.size()) return;  // malformed
   if (!pm.fragments[frag->index].empty()) return;  // duplicate
-  pm.fragments[frag->index] = frag->payload;
+  pm.fragments[frag->index] = frag->payload;  // shares the sender's slab
   ++pm.received;
   if (pm.received < pm.fragments.size()) return;
 
-  std::vector<std::uint8_t> whole;
-  for (auto& f : pm.fragments) {
-    whole.insert(whole.end(), f.begin(), f.end());
-  }
+  // Concatenate once into a fresh slab (the only copy on the UDP path, and
+  // only for messages that actually fragmented).
+  std::size_t total = 0;
+  for (const auto& f : pm.fragments) total += f.size();
+  wire::ByteBuf whole{total};
+  for (const auto& f : pm.fragments) whole.write_bytes(f.span());
   partial_.erase(key);
   ++stats_.messages_received;
-  if (on_message_) on_message_(dg.src, dg.src_port, std::move(whole));
+  if (on_message_) on_message_(dg.src, dg.src_port, std::move(whole).take_slice());
 }
 
 }  // namespace kmsg::transport

@@ -4,6 +4,12 @@
 // Messages larger than the MTU are fragmented IP-style: if any fragment is
 // lost the whole message is lost (at-most-once), and message ordering is not
 // preserved end-to-end. This is the middleware's Transport::UDP carrier.
+//
+// Zero-copy: fragments carry ref-counted BufSlice views of the message's
+// backing slab (fragmentation slices, it does not copy), and a
+// single-fragment message is delivered to the receiver as the sender's
+// slice itself — the simulated wire moves no payload bytes. Multi-fragment
+// reassembly concatenates once into a fresh slab.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,7 @@
 
 #include "netsim/network.hpp"
 #include "transport/connection.hpp"
+#include "wire/buffer.hpp"
 
 namespace kmsg::transport {
 
@@ -38,9 +45,10 @@ struct UdpStats {
 
 class UdpEndpoint final : public std::enable_shared_from_this<UdpEndpoint> {
  public:
-  /// Delivery callback: (source host, source port, payload).
+  /// Delivery callback: (source host, source port, payload). The slice may
+  /// be retained; it pins its backing slab.
   using MessageFn =
-      std::function<void(netsim::HostId, netsim::Port, std::vector<std::uint8_t>)>;
+      std::function<void(netsim::HostId, netsim::Port, wire::BufSlice)>;
 
   /// Binds `port` on `host` (0 selects an ephemeral port).
   static std::shared_ptr<UdpEndpoint> open(netsim::Host& host, netsim::Port port,
@@ -55,8 +63,15 @@ class UdpEndpoint final : public std::enable_shared_from_this<UdpEndpoint> {
   void set_on_message(MessageFn fn) { on_message_ = std::move(fn); }
 
   /// Sends one message; returns false when rejected (oversize / closed).
+  /// Borrowed slices are promoted to owned (one copy) since fragments
+  /// outlive the call.
+  bool send(netsim::HostId dst, netsim::Port dst_port, wire::BufSlice payload);
+  /// Compatibility overload: copies the vector into a pooled slab.
   bool send(netsim::HostId dst, netsim::Port dst_port,
-            std::vector<std::uint8_t> payload);
+            std::vector<std::uint8_t> payload) {
+    return send(dst, dst_port,
+                wire::BufSlice::copy_of({payload.data(), payload.size()}));
+  }
 
   void close();
 
@@ -73,7 +88,7 @@ class UdpEndpoint final : public std::enable_shared_from_this<UdpEndpoint> {
   std::uint64_t next_message_id_ = 1;
 
   struct PartialMessage {
-    std::vector<std::vector<std::uint8_t>> fragments;
+    std::vector<wire::BufSlice> fragments;
     std::size_t received = 0;
     TimePoint first_seen;
   };

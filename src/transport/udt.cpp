@@ -415,12 +415,12 @@ void UdtConnection::estimate_bandwidth(const UdtData& pkt) {
 void UdtConnection::handle_data(const UdtData& pkt) {
   estimate_bandwidth(pkt);
   const std::uint64_t prev_highest = reasm_.highest_seen();
-  auto deliverable = reasm_.offer(pkt.seq, pkt.payload);
-  if (!deliverable.empty()) {
-    stats_.bytes_delivered += deliverable.size();
-    recv_bytes_interval_ += deliverable.size();
-    if (on_data_) on_data_(deliverable);
-  }
+  reasm_.offer_span(pkt.seq, {pkt.payload.data(), pkt.payload.size()},
+                    [this](std::span<const std::uint8_t> run) {
+                      stats_.bytes_delivered += run.size();
+                      recv_bytes_interval_ += run.size();
+                      if (on_data_) on_data_(run);
+                    });
   // Immediate NAK on first gap detection (UDT sends NAK as soon as a
   // sequence discontinuity is observed). Register the hole for paced
   // re-NAKs.

@@ -1,0 +1,148 @@
+#include "wire/buffer.hpp"
+
+#include <bit>
+#include <new>
+
+namespace kmsg::wire {
+
+// --- SlabPool ---
+
+SlabPool::~SlabPool() { trim(); }
+
+SlabPool& SlabPool::instance() {
+  // Leaked on purpose: slices owned by static-lifetime objects may release
+  // after any static pool would have been destroyed.
+  static SlabPool* pool = new SlabPool();
+  return *pool;
+}
+
+std::uint32_t SlabPool::class_for(std::size_t capacity) {
+  if (capacity > kMaxClassBytes) return kUnpooledClass;
+  std::size_t c = kMinClassBytes;
+  std::uint32_t cls = 0;
+  while (c < capacity) {
+    c <<= 1;
+    ++cls;
+  }
+  return cls;
+}
+
+std::size_t SlabPool::class_capacity(std::uint32_t cls) {
+  return kMinClassBytes << cls;
+}
+
+Slab* SlabPool::allocate(std::size_t capacity, std::uint32_t cls) {
+  void* mem = ::operator new(sizeof(Slab) + capacity);
+  Slab* slab = new (mem) Slab{this, {1}, cls, capacity};
+  return slab;
+}
+
+Slab* SlabPool::acquire(std::size_t min_capacity) {
+  if (min_capacity == 0) min_capacity = 1;
+  const std::uint32_t cls = class_for(min_capacity);
+  if (cls == kUnpooledClass) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.acquires;
+    ++stats_.slabs_created;
+    return allocate(min_capacity, cls);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.acquires;
+    auto& freelist = free_[cls];
+    if (!freelist.empty()) {
+      Slab* slab = freelist.back();
+      freelist.pop_back();
+      ++stats_.slabs_recycled;
+      slab->refs.store(1, std::memory_order_relaxed);
+      return slab;
+    }
+    ++stats_.slabs_created;
+  }
+  return allocate(class_capacity(cls), cls);
+}
+
+void SlabPool::recycle(Slab* slab) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.releases;
+  if (slab->size_class != kUnpooledClass &&
+      free_[slab->size_class].size() < kMaxCachedPerClass) {
+    free_[slab->size_class].push_back(slab);
+    return;
+  }
+  ++stats_.slabs_destroyed;
+  slab->~Slab();
+  ::operator delete(slab);
+}
+
+void SlabPool::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& freelist : free_) {
+    for (Slab* slab : freelist) {
+      ++stats_.slabs_destroyed;
+      slab->~Slab();
+      ::operator delete(slab);
+    }
+    freelist.clear();
+  }
+}
+
+SlabPoolStats SlabPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SlabPoolStats s = stats_;
+  s.payload_bytes_copied = payload_bytes_copied_.load(std::memory_order_relaxed);
+  s.grow_bytes_copied = grow_bytes_copied_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SlabPool::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = {};
+  payload_bytes_copied_.store(0, std::memory_order_relaxed);
+  grow_bytes_copied_.store(0, std::memory_order_relaxed);
+}
+
+void SlabPool::count_payload_copy(std::size_t n) {
+  payload_bytes_copied_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void SlabPool::count_grow_copy(std::size_t n) {
+  grow_bytes_copied_.fetch_add(n, std::memory_order_relaxed);
+}
+
+// --- BufSlice ---
+
+BufSlice BufSlice::copy_of(std::span<const std::uint8_t> bytes,
+                           std::size_t headroom) {
+  SlabPool& pool = SlabPool::instance();
+  Slab* slab = pool.acquire(headroom + bytes.size());
+  if (!bytes.empty()) {
+    std::memcpy(slab->bytes() + headroom, bytes.data(), bytes.size());
+    pool.count_payload_copy(bytes.size());
+  }
+  return BufSlice{slab, slab->bytes() + headroom, bytes.size(),
+                  /*add_ref=*/false};
+}
+
+BufSlice BufSlice::slice(std::size_t offset, std::size_t len) const {
+  if (offset + len > len_) {
+    return {};  // out-of-range sub-slices degrade to empty, never alias
+  }
+  return BufSlice{slab_, data_ + offset, len, /*add_ref=*/true};
+}
+
+BufSlice BufSlice::to_owned() const {
+  if (slab_ || len_ == 0) return *this;
+  return copy_of(span());
+}
+
+std::uint8_t* BufSlice::try_prepend(std::size_t n) {
+  if (!slab_ || !unique() || headroom() < n) return nullptr;
+  data_ -= n;
+  len_ += n;
+  // Safe despite the const view type: we solely own the slab and the bytes
+  // being exposed were never part of any slice.
+  return const_cast<std::uint8_t*>(data_);
+}
+
+}  // namespace kmsg::wire

@@ -1,31 +1,51 @@
 #include "wire/framing.hpp"
 
 #include <array>
+#include <bit>
 #include <cstring>
 
 namespace kmsg::wire {
 
 namespace {
 
-constexpr std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slicing-by-8 CRC-32 (IEEE polynomial): table[0] is the classic byte-at-a-
+// time table; tables 1..7 extend it so the hot loop folds 8 input bytes per
+// step with 8 independent lookups. Produces bit-identical results to the
+// byte-wise algorithm at roughly 4x the throughput — frame decoding is
+// CRC-bound, so this is the frame path's single biggest cost.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = t[0][i];
+    for (std::size_t s = 1; s < 8; ++s) {
+      c = t[0][c & 0xFFu] ^ (c >> 8);
+      t[s][i] = c;
+    }
+  }
+  return t;
 }
 
-constexpr auto kCrcTable = make_crc_table();
+constexpr auto kCrcTables = make_crc_tables();
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 24));
   out.push_back(static_cast<std::uint8_t>(v >> 16));
   out.push_back(static_cast<std::uint8_t>(v >> 8));
   out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
 }
 
 std::uint32_t get_u32(const std::uint8_t* p) {
@@ -39,8 +59,30 @@ std::uint32_t get_u32(const std::uint8_t* p) {
 
 std::uint32_t crc32(std::span<const std::uint8_t> data) {
   std::uint32_t c = 0xFFFFFFFFu;
-  for (const std::uint8_t b : data) {
-    c = kCrcTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  // The 8-byte folding below assumes little-endian loads; every supported
+  // target is little-endian, and the byte-wise tail loop is the generic path.
+  static_assert(std::endian::native == std::endian::little);
+  while (n >= 8) {
+    // memcpy compiles to one unaligned load; byte order is handled by XORing
+    // the little-endian low word into the running CRC.
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    chunk ^= c;
+    c = kCrcTables[7][chunk & 0xFFu] ^
+        kCrcTables[6][(chunk >> 8) & 0xFFu] ^
+        kCrcTables[5][(chunk >> 16) & 0xFFu] ^
+        kCrcTables[4][(chunk >> 24) & 0xFFu] ^
+        kCrcTables[3][(chunk >> 32) & 0xFFu] ^
+        kCrcTables[2][(chunk >> 40) & 0xFFu] ^
+        kCrcTables[1][(chunk >> 48) & 0xFFu] ^
+        kCrcTables[0][(chunk >> 56) & 0xFFu];
+    p += 8;
+    n -= 8;
+  }
+  for (; n != 0; --n, ++p) {
+    c = kCrcTables[0][(c ^ *p) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }
@@ -54,36 +96,120 @@ std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload) {
   return out;
 }
 
-bool FrameDecoder::feed(std::span<const std::uint8_t> chunk) {
-  if (poisoned_) return false;
-  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
-  std::size_t pos = 0;
-  while (buf_.size() - pos >= kFrameHeaderBytes) {
-    const auto len = static_cast<std::size_t>(get_u32(buf_.data() + pos));
+BufSlice encode_frame_slice(BufSlice payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload.span());
+  std::uint8_t* hdr = payload.try_prepend(kFrameHeaderBytes);
+  if (!hdr) {
+    // Shared or headroom-less slice: one counted copy into a fresh slab
+    // that does have the room.
+    payload = BufSlice::copy_of(payload.span(), kFrameHeaderBytes);
+    hdr = payload.try_prepend(kFrameHeaderBytes);
+  }
+  store_u32(hdr, len);
+  store_u32(hdr + 4, crc);
+  return payload;
+}
+
+template <typename EmitFn>
+bool FrameDecoder::parse(const std::uint8_t* data, std::size_t& start,
+                         std::size_t end, EmitFn&& emit) {
+  while (end - start >= kFrameHeaderBytes) {
+    const auto len = static_cast<std::size_t>(get_u32(data + start));
     if (len > max_frame_) {
       poisoned_ = true;
       return false;
     }
-    const std::uint32_t expected_crc = get_u32(buf_.data() + pos + 4);
-    if (buf_.size() - pos - kFrameHeaderBytes < len) break;
-    std::vector<std::uint8_t> frame(
-        buf_.begin() + static_cast<std::ptrdiff_t>(pos + kFrameHeaderBytes),
-        buf_.begin() +
-            static_cast<std::ptrdiff_t>(pos + kFrameHeaderBytes + len));
-    if (crc32(frame) != expected_crc) {
+    const std::uint32_t expected_crc = get_u32(data + start + 4);
+    if (end - start - kFrameHeaderBytes < len) break;
+    // CRC over the bytes in place — no copy of the payload is made.
+    if (crc32({data + start + kFrameHeaderBytes, len}) != expected_crc) {
       // Bit errors in flight: the length we just trusted may itself be
       // damaged, so resynchronisation is not possible — poison the stream.
       ++corrupt_;
       poisoned_ = true;
       return false;
     }
-    pos += kFrameHeaderBytes + len;
+    const std::size_t payload_at = start + kFrameHeaderBytes;
+    start = payload_at + len;
     ++frames_;
-    if (on_frame_) on_frame_(std::move(frame));
+    if (on_frame_) emit(payload_at, len);
     if (poisoned_) return false;  // callback may have reset us
   }
-  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos));
   return true;
+}
+
+void FrameDecoder::release_slab() noexcept {
+  if (slab_) {
+    if (slab_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      slab_->pool->recycle(slab_);
+    }
+    slab_ = nullptr;
+  }
+  start_ = end_ = 0;
+}
+
+void FrameDecoder::append(std::span<const std::uint8_t> chunk) {
+  if (chunk.empty()) return;
+  const std::size_t unparsed = end_ - start_;
+  const bool sole_owner =
+      slab_ && slab_->refs.load(std::memory_order_acquire) == 1;
+  if (slab_ && unparsed == 0 && sole_owner) {
+    // Nothing buffered and no emitted frame still aliases the slab: rewind
+    // and reuse the space.
+    start_ = end_ = 0;
+  }
+  if (!slab_ || end_ + chunk.size() > slab_->capacity) {
+    // Grow (or shed a slab pinned by emitted frames): move only the
+    // unparsed tail — bytes of already-emitted frames stay behind in the
+    // old slab, kept alive by the frames' own references.
+    SlabPool& pool = SlabPool::instance();
+    std::size_t want = unparsed + chunk.size();
+    if (slab_ && sole_owner && want < slab_->capacity * 2) {
+      want = slab_->capacity * 2;
+    }
+    Slab* bigger = pool.acquire(want);
+    if (unparsed != 0) {
+      std::memcpy(bigger->bytes(), slab_->bytes() + start_, unparsed);
+      pool.count_grow_copy(unparsed);
+    }
+    release_slab();
+    slab_ = bigger;
+    start_ = 0;
+    end_ = unparsed;
+  }
+  std::memcpy(slab_->bytes() + end_, chunk.data(), chunk.size());
+  end_ += chunk.size();
+}
+
+bool FrameDecoder::feed(std::span<const std::uint8_t> chunk) {
+  if (poisoned_) return false;
+  append(chunk);
+  if (!slab_) return true;  // empty chunk, nothing buffered
+  return parse(slab_->bytes(), start_, end_, [this](std::size_t at,
+                                                    std::size_t len) {
+    on_frame_(BufSlice{slab_, slab_->bytes() + at, len, /*add_ref=*/true});
+  });
+}
+
+bool FrameDecoder::feed(const BufSlice& chunk) {
+  if (poisoned_) return false;
+  if (buffered_bytes() == 0 && chunk.owning()) {
+    // Fast path: parse frames straight out of the caller's slab and emit
+    // them as sub-slices of it — zero bytes copied for complete frames.
+    std::size_t pos = 0;
+    const bool ok =
+        parse(chunk.data(), pos, chunk.size(),
+              [this, &chunk](std::size_t at, std::size_t len) {
+                on_frame_(chunk.slice(at, len));
+              });
+    if (!ok) return false;
+    if (pos < chunk.size()) {
+      append(chunk.span().subspan(pos));  // buffer the incomplete tail only
+    }
+    return true;
+  }
+  return feed(chunk.span());
 }
 
 }  // namespace kmsg::wire

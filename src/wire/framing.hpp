@@ -10,12 +10,23 @@
 // decoder: once any byte of the stream is untrusted, frame boundaries are
 // untrusted too, so the only safe recovery is tearing the connection down
 // and re-establishing the session (which the messaging layer does).
+//
+// Zero-copy model: encode_frame_slice writes the 8-byte header into the
+// payload slice's headroom in place when it solely owns its slab (the
+// serialiser reserves that headroom), so encoding a frame moves no payload
+// bytes. The decoder accumulates stream chunks in a pooled slab and emits
+// each frame as a BufSlice *view* into that slab; emitted frames pin the
+// slab via refcount, and growing the accumulation buffer copies only the
+// not-yet-parsed tail. feed(BufSlice) additionally parses frames directly
+// out of the caller's slab when the decoder has no buffered partial frame.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
+
+#include "wire/buffer.hpp"
 
 namespace kmsg::wire {
 
@@ -32,14 +43,33 @@ std::uint32_t crc32(std::span<const std::uint8_t> data);
 /// Prepends the length + CRC header to a payload (returns a new vector).
 std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload);
 
+/// Zero-copy framing: prepends the header in place via the slice's headroom
+/// when possible (sole owner, >= kFrameHeaderBytes spare); otherwise falls
+/// back to one counted copy into a fresh slab. The returned slice covers
+/// header + payload.
+BufSlice encode_frame_slice(BufSlice payload);
+
 /// Incremental frame decoder: feed arbitrary stream chunks; complete frames
-/// are emitted through the callback in order.
+/// are emitted through the callback in order as slices of the decoder's
+/// accumulation slab (or of the fed slice on the zero-copy fast path). The
+/// callback may retain the slice — it pins the backing slab.
 class FrameDecoder {
  public:
-  using FrameFn = std::function<void(std::vector<std::uint8_t>)>;
+  using FrameFn = std::function<void(BufSlice)>;
 
   explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
       : max_frame_(max_frame_bytes) {}
+  FrameDecoder(FrameDecoder&& other) noexcept { move_from(other); }
+  FrameDecoder& operator=(FrameDecoder&& other) noexcept {
+    if (this != &other) {
+      release_slab();
+      move_from(other);
+    }
+    return *this;
+  }
+  FrameDecoder(const FrameDecoder&) = delete;
+  FrameDecoder& operator=(const FrameDecoder&) = delete;
+  ~FrameDecoder() { release_slab(); }
 
   void set_on_frame(FrameFn fn) { on_frame_ = std::move(fn); }
 
@@ -48,15 +78,44 @@ class FrameDecoder {
   /// stream is unrecoverable then.
   bool feed(std::span<const std::uint8_t> chunk);
 
+  /// Zero-copy variant: when no partial frame is buffered, frames are
+  /// emitted as sub-slices of `chunk`'s own slab (no byte is copied); only
+  /// an incomplete tail is buffered. Falls back to the copying path when
+  /// mid-frame or when `chunk` is a borrowed (non-owning) slice.
+  bool feed(const BufSlice& chunk);
+
   bool poisoned() const { return poisoned_; }
-  std::size_t buffered_bytes() const { return buf_.size(); }
+  std::size_t buffered_bytes() const { return end_ - start_; }
   std::uint64_t frames_decoded() const { return frames_; }
   /// Frames rejected because their payload failed the CRC check.
   std::uint64_t frames_corrupt() const { return corrupt_; }
 
  private:
-  std::size_t max_frame_;
-  std::vector<std::uint8_t> buf_;
+  /// Parses complete frames out of [data + start, data + end); emits via
+  /// `emit` (which receives payload offset + length relative to `data`).
+  /// Advances `start`. Returns false on poison.
+  template <typename EmitFn>
+  bool parse(const std::uint8_t* data, std::size_t& start, std::size_t end,
+             EmitFn&& emit);
+  void append(std::span<const std::uint8_t> chunk);
+  void release_slab() noexcept;
+  void move_from(FrameDecoder& other) noexcept {
+    max_frame_ = other.max_frame_;
+    slab_ = other.slab_;
+    start_ = other.start_;
+    end_ = other.end_;
+    poisoned_ = other.poisoned_;
+    frames_ = other.frames_;
+    corrupt_ = other.corrupt_;
+    on_frame_ = std::move(other.on_frame_);
+    other.slab_ = nullptr;
+    other.start_ = other.end_ = 0;
+  }
+
+  std::size_t max_frame_ = kDefaultMaxFrameBytes;
+  Slab* slab_ = nullptr;   ///< accumulation slab (decoder holds one ref)
+  std::size_t start_ = 0;  ///< offset of the first unparsed byte
+  std::size_t end_ = 0;    ///< offset past the last buffered byte
   bool poisoned_ = false;
   std::uint64_t frames_ = 0;
   std::uint64_t corrupt_ = 0;

@@ -1,19 +1,19 @@
 #include "wire/pipeline.hpp"
 
+#include <cstring>
+
 #include "wire/snappy.hpp"
 
 namespace kmsg::wire {
 
-std::vector<std::uint8_t> Pipeline::process_outbound(
-    std::vector<std::uint8_t> payload) const {
+BufSlice Pipeline::process_outbound(BufSlice payload) const {
   for (const auto& h : handlers_) {
     payload = h->encode(std::move(payload));
   }
   return payload;
 }
 
-std::optional<std::vector<std::uint8_t>> Pipeline::process_inbound(
-    std::vector<std::uint8_t> payload) const {
+std::optional<BufSlice> Pipeline::process_inbound(BufSlice payload) const {
   for (auto it = handlers_.rbegin(); it != handlers_.rend(); ++it) {
     auto decoded = (*it)->decode(std::move(payload));
     if (!decoded) return std::nullopt;
@@ -23,41 +23,58 @@ std::optional<std::vector<std::uint8_t>> Pipeline::process_inbound(
 }
 
 namespace {
+
 constexpr std::uint8_t kStoredRaw = 0;
 constexpr std::uint8_t kStoredCompressed = 1;
+
+/// Tags the payload in place when headroom allows, else via one counted copy.
+BufSlice prepend_tag(BufSlice payload, std::uint8_t tag) {
+  std::uint8_t* p = payload.try_prepend(1);
+  if (!p) {
+    payload = BufSlice::copy_of(payload.span(), 1);
+    p = payload.try_prepend(1);
+  }
+  *p = tag;
+  return payload;
+}
+
+BufSlice slice_of(const std::vector<std::uint8_t>& bytes,
+                  std::size_t headroom) {
+  return BufSlice::copy_of({bytes.data(), bytes.size()}, headroom);
+}
+
 }  // namespace
 
-std::vector<std::uint8_t> CompressionHandler::encode(
-    std::vector<std::uint8_t> payload) {
+BufSlice CompressionHandler::encode(BufSlice payload) {
   bytes_in_ += payload.size();
-  std::vector<std::uint8_t> out;
   if (payload.size() >= min_size_) {
-    auto compressed = snappy_compress(payload);
+    auto compressed = snappy_compress(payload.span());
     if (compressed.size() < payload.size()) {
-      out.reserve(compressed.size() + 1);
-      out.push_back(kStoredCompressed);
-      out.insert(out.end(), compressed.begin(), compressed.end());
+      BufSlice out =
+          prepend_tag(slice_of(compressed, 1 + kPipelineHeadroomBytes),
+                      kStoredCompressed);
       bytes_out_ += out.size();
       return out;
     }
   }
-  out.reserve(payload.size() + 1);
-  out.push_back(kStoredRaw);
-  out.insert(out.end(), payload.begin(), payload.end());
+  // Incompressible or small: stored raw, tag prepended without moving the
+  // payload (the serialiser's headroom absorbs it).
+  BufSlice out = prepend_tag(std::move(payload), kStoredRaw);
   bytes_out_ += out.size();
   return out;
 }
 
-std::optional<std::vector<std::uint8_t>> CompressionHandler::decode(
-    std::vector<std::uint8_t> payload) {
+std::optional<BufSlice> CompressionHandler::decode(BufSlice payload) {
   if (payload.empty()) return std::nullopt;
-  const std::uint8_t tag = payload.front();
-  std::span<const std::uint8_t> body{payload.data() + 1, payload.size() - 1};
+  const std::uint8_t tag = payload[0];
   if (tag == kStoredRaw) {
-    return std::vector<std::uint8_t>(body.begin(), body.end());
+    // Strip the tag as a sub-slice — the payload bytes stay where they are.
+    return payload.slice(1, payload.size() - 1);
   }
   if (tag == kStoredCompressed) {
-    return snappy_decompress(body);
+    auto decompressed = snappy_decompress(payload.span().subspan(1));
+    if (!decompressed) return std::nullopt;
+    return slice_of(*decompressed, 0);
   }
   return std::nullopt;
 }

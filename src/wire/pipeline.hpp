@@ -5,6 +5,12 @@
 // The middleware installs a compression handler by default, mirroring the
 // paper's Snappy handler in Netty's channel pipelines; applications can
 // insert their own (e.g. encryption, checksums, tracing).
+//
+// Handlers pass payloads as ref-counted BufSlice views. A handler that only
+// tags or trims the payload (the common case: incompressible data stored
+// raw) works in place — prepends go into the slice's headroom, strips are
+// sub-slices — so the pipeline moves no payload bytes unless a transform
+// genuinely rewrites them.
 #pragma once
 
 #include <memory>
@@ -17,16 +23,20 @@
 
 namespace kmsg::wire {
 
+/// Headroom bytes a serialiser should reserve ahead of the payload so that
+/// pipeline handlers (1 byte each, in practice) and the frame header can all
+/// prepend in place without copying.
+inline constexpr std::size_t kPipelineHeadroomBytes = 8;
+
 class PipelineHandler {
  public:
   virtual ~PipelineHandler() = default;
   virtual std::string_view name() const = 0;
   /// Outbound transform. Returns the transformed payload.
-  virtual std::vector<std::uint8_t> encode(std::vector<std::uint8_t> payload) = 0;
+  virtual BufSlice encode(BufSlice payload) = 0;
   /// Inbound transform (inverse of encode). std::nullopt poisons the message
   /// (it is dropped and counted by the caller).
-  virtual std::optional<std::vector<std::uint8_t>> decode(
-      std::vector<std::uint8_t> payload) = 0;
+  virtual std::optional<BufSlice> decode(BufSlice payload) = 0;
 };
 
 class Pipeline {
@@ -40,9 +50,8 @@ class Pipeline {
   std::size_t size() const { return handlers_.size(); }
   bool empty() const { return handlers_.empty(); }
 
-  std::vector<std::uint8_t> process_outbound(std::vector<std::uint8_t> payload) const;
-  std::optional<std::vector<std::uint8_t>> process_inbound(
-      std::vector<std::uint8_t> payload) const;
+  BufSlice process_outbound(BufSlice payload) const;
+  std::optional<BufSlice> process_inbound(BufSlice payload) const;
 
  private:
   std::vector<std::unique_ptr<PipelineHandler>> handlers_;
@@ -51,15 +60,15 @@ class Pipeline {
 /// Compression handler using the snappy-like block codec. A 1-byte prefix
 /// records whether the block was stored compressed; incompressible payloads
 /// (compressed size >= original) are stored raw so the handler never inflates
-/// traffic by more than one byte.
+/// traffic by more than one byte. The raw path is zero-copy both ways: the
+/// tag is prepended into headroom and stripped as a sub-slice.
 class CompressionHandler final : public PipelineHandler {
  public:
   /// Payloads smaller than `min_size` bypass compression entirely.
   explicit CompressionHandler(std::size_t min_size = 64) : min_size_(min_size) {}
   std::string_view name() const override { return "snappy"; }
-  std::vector<std::uint8_t> encode(std::vector<std::uint8_t> payload) override;
-  std::optional<std::vector<std::uint8_t>> decode(
-      std::vector<std::uint8_t> payload) override;
+  BufSlice encode(BufSlice payload) override;
+  std::optional<BufSlice> decode(BufSlice payload) override;
 
   std::uint64_t bytes_in() const { return bytes_in_; }
   std::uint64_t bytes_out() const { return bytes_out_; }

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Validates the schema of BENCH_micro.json (google-benchmark JSON output).
+
+Used by the bench-smoke ctest label: after a short benchmark run, checks that
+every key benchmark is present and carries the fields the perf trajectory in
+BENCH_micro.json relies on — ns/op (real_time) and the allocation counters
+reported by the counting allocator in bench/micro_benchmarks.cpp.
+"""
+import json
+import sys
+
+REQUIRED_BENCHMARKS = [
+    "BM_ByteBufWritePrimitives",
+    "BM_FrameDecode",
+    "BM_MessageSerializeRoundTrip",
+    "BM_SimulatorEventThroughput",
+    "BM_KompicsEventDispatch",
+]
+REQUIRED_FIELDS = ["name", "real_time", "cpu_time", "time_unit", "iterations"]
+REQUIRED_COUNTERS = ["allocs_per_op", "alloc_bytes_per_op"]
+
+
+def fail(msg):
+    print(f"bench json schema error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_json.py <BENCH_micro.json>")
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {sys.argv[1]}: {e}")
+
+    if "context" not in doc:
+        fail("missing top-level 'context'")
+    benches = {b.get("name"): b for b in doc.get("benchmarks", [])}
+    if not benches:
+        fail("no 'benchmarks' array")
+
+    for name in REQUIRED_BENCHMARKS:
+        b = benches.get(name)
+        if b is None:
+            fail(f"benchmark {name} missing from output")
+        for field in REQUIRED_FIELDS:
+            if field not in b:
+                fail(f"{name}: missing field '{field}'")
+        for counter in REQUIRED_COUNTERS:
+            if counter not in b:
+                fail(f"{name}: missing counter '{counter}'")
+        if b["time_unit"] != "ns":
+            fail(f"{name}: expected time_unit ns, got {b['time_unit']}")
+        if b["real_time"] <= 0:
+            fail(f"{name}: non-positive real_time")
+
+    print(f"ok: {len(REQUIRED_BENCHMARKS)} benchmarks validated")
+
+
+if __name__ == "__main__":
+    main()

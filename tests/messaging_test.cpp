@@ -106,7 +106,8 @@ TEST(SerializerRegistryTest, DataChunkRoundTrip) {
   ASSERT_NE(c, nullptr);
   EXPECT_EQ(c->transfer_id(), 7u);
   EXPECT_EQ(c->offset(), 1000u);
-  EXPECT_EQ(c->bytes(), payload);
+  EXPECT_EQ(std::vector<std::uint8_t>(c->bytes().begin(), c->bytes().end()),
+            payload);
   EXPECT_TRUE(c->last());
   // The reconstructed chunk is DATA-capable again.
   EXPECT_NE(dynamic_cast<const DataMsg*>(msg.get()), nullptr);

@@ -52,7 +52,9 @@ TEST_P(PayloadSweepTest, RoundTripsUnmodified) {
   ASSERT_EQ(receiver.got.size(), 1u);
   const auto* chunk = dynamic_cast<const DataChunkMsg*>(receiver.got[0].get());
   ASSERT_NE(chunk, nullptr);
-  EXPECT_EQ(chunk->bytes(), payload);
+  EXPECT_EQ(std::vector<std::uint8_t>(chunk->bytes().begin(),
+                                      chunk->bytes().end()),
+            payload);
   EXPECT_EQ(chunk->offset(), 12345u);
   EXPECT_EQ(chunk->header().protocol(), transport);
   EXPECT_TRUE(chunk->last());
@@ -124,7 +126,9 @@ TEST_P(CompressionSweepTest, PipelineRoundTripWithCompression) {
   ASSERT_EQ(receiver.got.size(), 1u);
   const auto* chunk = dynamic_cast<const DataChunkMsg*>(receiver.got[0].get());
   ASSERT_NE(chunk, nullptr);
-  EXPECT_EQ(chunk->bytes(), payload);
+  EXPECT_EQ(std::vector<std::uint8_t>(chunk->bytes().begin(),
+                                      chunk->bytes().end()),
+            payload);
   // Compressible traffic must actually shrink on the wire: total bytes the
   // forward link carried (handshake + frames + acks) stays far below the
   // uncompressed payload size.

@@ -124,7 +124,7 @@ TEST(CubicTest, WindowRecoversAboveRenoAfterCongestionEvent) {
     });
     auto client = TcpConnection::connect(*w.a, w.b->id(), 80, cfg);
     const auto chunk = pattern_bytes(256 * 1024);
-    auto pump = [&, client] {
+    auto pump = [&] {
       while (client->write(chunk) > 0) {
       }
     };
@@ -171,7 +171,7 @@ TEST(LedbatTest, HandshakeAndTransferIntegrity) {
   auto client = LedbatConnection::connect(*w.a, w.b->id(), 70, {});
   const auto data = pattern_bytes(1'000'000, 5);
   std::size_t written = 0;
-  auto pump = [&, client] {
+  auto pump = [&] {
     while (written < data.size()) {
       const std::size_t n = client->write(std::span<const std::uint8_t>(
           data.data() + written, data.size() - written));
@@ -199,7 +199,7 @@ TEST(LedbatTest, IntegrityUnderLoss) {
   auto client = LedbatConnection::connect(*w.a, w.b->id(), 70, {});
   const auto data = pattern_bytes(500'000, 6);
   std::size_t written = 0;
-  auto pump = [&, client] {
+  auto pump = [&] {
     while (written < data.size()) {
       const std::size_t n = client->write(std::span<const std::uint8_t>(
           data.data() + written, data.size() - written));
@@ -224,7 +224,7 @@ TEST(LedbatTest, AloneUsesAvailableBandwidth) {
   });
   auto client = LedbatConnection::connect(*w.a, w.b->id(), 70, {});
   const auto chunk = pattern_bytes(128 * 1024);
-  auto pump = [&, client] {
+  auto pump = [&] {
     while (client->write(chunk) > 0) {
     }
   };
@@ -251,7 +251,7 @@ TEST(LedbatTest, YieldsToCompetingTcpFlow) {
   });
   auto lb_client = LedbatConnection::connect(*w.a, w.b->id(), 70, {});
   const auto chunk = pattern_bytes(128 * 1024);
-  auto lb_pump = [&, lb_client] {
+  auto lb_pump = [&] {
     while (lb_client->write(chunk) > 0) {
     }
   };
@@ -272,7 +272,7 @@ TEST(LedbatTest, YieldsToCompetingTcpFlow) {
         [&](std::span<const std::uint8_t> d) { tcp_received += d.size(); });
   });
   auto tcp_client = TcpConnection::connect(*w.a, w.b->id(), 80, tcfg);
-  auto tcp_pump = [&, tcp_client] {
+  auto tcp_pump = [&] {
     while (tcp_client->write(chunk) > 0) {
     }
   };
@@ -303,7 +303,7 @@ TEST(LedbatTest, QueuingDelayStaysNearTarget) {
   });
   auto client = LedbatConnection::connect(*w.a, w.b->id(), 70, cfg);
   const auto chunk = pattern_bytes(128 * 1024);
-  auto pump = [&, client] {
+  auto pump = [&] {
     while (client->write(chunk) > 0) {
     }
   };
@@ -328,7 +328,7 @@ TEST(LedbatTest, GracefulClose) {
   auto client = LedbatConnection::connect(*w.a, w.b->id(), 70, {});
   client->set_on_closed([&] { client_closed = true; });
   const auto data = pattern_bytes(200'000, 9);
-  client->set_on_connected([&, client] {
+  client->set_on_connected([&] {
     client->write(data);
     client->close();
   });

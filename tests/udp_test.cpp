@@ -25,6 +25,10 @@ std::vector<std::uint8_t> payload(std::size_t n, std::uint8_t fill = 7) {
   return std::vector<std::uint8_t>(n, fill);
 }
 
+std::vector<std::uint8_t> to_vec(const wire::BufSlice& s) {
+  return {s.data(), s.data() + s.size()};
+}
+
 TEST_F(UdpFixture, SingleDatagramDelivery) {
   build({});
   auto ea = UdpEndpoint::open(*a, 100);
@@ -32,11 +36,10 @@ TEST_F(UdpFixture, SingleDatagramDelivery) {
   std::vector<std::uint8_t> got;
   netsim::HostId src_host = 999;
   netsim::Port src_port = 0;
-  eb->set_on_message([&](netsim::HostId h, netsim::Port p,
-                         std::vector<std::uint8_t> m) {
+  eb->set_on_message([&](netsim::HostId h, netsim::Port p, wire::BufSlice m) {
     src_host = h;
     src_port = p;
-    got = std::move(m);
+    got = to_vec(m);
   });
   EXPECT_TRUE(ea->send(b->id(), 200, payload(100)));
   sim.run();
@@ -50,10 +53,9 @@ TEST_F(UdpFixture, FragmentationRoundTrip) {
   auto ea = UdpEndpoint::open(*a, 100);
   auto eb = UdpEndpoint::open(*b, 200);
   std::vector<std::uint8_t> got;
-  eb->set_on_message(
-      [&](netsim::HostId, netsim::Port, std::vector<std::uint8_t> m) {
-        got = std::move(m);
-      });
+  eb->set_on_message([&](netsim::HostId, netsim::Port, wire::BufSlice m) {
+    got = to_vec(m);
+  });
   // 65 kB message -> 8 fragments at the jumbo MTU.
   std::vector<std::uint8_t> msg(65000);
   Rng rng(5);
@@ -73,11 +75,10 @@ TEST_F(UdpFixture, LostFragmentLosesWholeMessage) {
   auto ea = UdpEndpoint::open(*a, 100, ucfg);
   auto eb = UdpEndpoint::open(*b, 200, ucfg);
   int complete = 0;
-  eb->set_on_message(
-      [&](netsim::HostId, netsim::Port, std::vector<std::uint8_t> m) {
-        ++complete;
-        EXPECT_EQ(m.size(), 60000u);  // never partial
-      });
+  eb->set_on_message([&](netsim::HostId, netsim::Port, wire::BufSlice m) {
+    ++complete;
+    EXPECT_EQ(m.size(), 60000u);  // never partial
+  });
   const int n = 200;
   for (int i = 0; i < n; ++i) {
     sim.schedule_after(Duration::millis(i * 5), [&] {
@@ -105,10 +106,9 @@ TEST_F(UdpFixture, NoOrderingGuarantee) {
   auto ea = UdpEndpoint::open(*a, 100);
   auto eb = UdpEndpoint::open(*b, 200);
   std::vector<std::size_t> sizes;
-  eb->set_on_message(
-      [&](netsim::HostId, netsim::Port, std::vector<std::uint8_t> m) {
-        sizes.push_back(m.size());
-      });
+  eb->set_on_message([&](netsim::HostId, netsim::Port, wire::BufSlice m) {
+    sizes.push_back(m.size());
+  });
   ea->send(b->id(), 200, payload(60000));
   ea->send(b->id(), 200, payload(10));
   sim.run();
@@ -145,7 +145,7 @@ TEST_F(UdpFixture, ReassemblyTimeoutExpiresPartials) {
   ucfg.reassembly_timeout = Duration::millis(50);
   auto ea = UdpEndpoint::open(*a, 100, ucfg);
   auto eb = UdpEndpoint::open(*b, 200, ucfg);
-  eb->set_on_message([](netsim::HostId, netsim::Port, std::vector<std::uint8_t>) {});
+  eb->set_on_message([](netsim::HostId, netsim::Port, wire::BufSlice) {});
   for (int i = 0; i < 50; ++i) {
     sim.schedule_after(Duration::millis(i * 20), [&] {
       ea->send(b->id(), 200, payload(60000));

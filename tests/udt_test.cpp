@@ -55,7 +55,7 @@ struct UdtFixture : ::testing::Test {
     });
     auto client = UdtConnection::connect(*a, b->id(), 90, ucfg);
     std::size_t written = 0;
-    auto pump = [&, client] {
+    auto pump = [&] {
       while (written < data.size()) {
         const std::size_t n = client->write(std::span<const std::uint8_t>(
             data.data() + written, data.size() - written));
@@ -129,7 +129,7 @@ TEST_F(UdtFixture, ThroughputInsensitiveToRtt) {
     auto client = UdtConnection::connect(world.net.host(world.sender),
                                          world.receiver, 90, ucfg);
     const auto chunk = pattern_bytes(256 * 1024);
-    auto pump = [&, client] {
+    auto pump = [&] {
       while (client->write(chunk) > 0) {
       }
     };
@@ -175,7 +175,7 @@ TEST_F(UdtFixture, SmallReceiveBufferDegradesHighBdpThroughput) {
     });
     auto client = UdtConnection::connect(ha, hb.id(), 90, ucfg);
     const auto chunk = pattern_bytes(256 * 1024);
-    auto pump = [&, client] {
+    auto pump = [&] {
       while (client->write(chunk) > 0) {
       }
     };
@@ -218,7 +218,7 @@ TEST_F(UdtFixture, GracefulCloseAfterDrain) {
   bool client_closed = false;
   client->set_on_closed([&] { client_closed = true; });
   const auto data = pattern_bytes(500'000);
-  client->set_on_connected([&, client] {
+  client->set_on_connected([&] {
     client->write(data);
     client->close();
   });
@@ -249,7 +249,7 @@ TEST_F(UdtFixture, BandwidthEstimateApproachesLinkRate) {
   UdtListener listener(*b, 90, {}, [&](auto conn) { server = std::move(conn); });
   auto client = UdtConnection::connect(*a, b->id(), 90, {});
   const auto chunk = pattern_bytes(256 * 1024);
-  auto pump = [&, client] {
+  auto pump = [&] {
     while (client->write(chunk) > 0) {
     }
   };

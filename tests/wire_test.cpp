@@ -9,6 +9,15 @@
 namespace kmsg::wire {
 namespace {
 
+std::vector<std::uint8_t> to_vec(const BufSlice& s) {
+  return {s.data(), s.data() + s.size()};
+}
+
+BufSlice owned(const std::vector<std::uint8_t>& v,
+               std::size_t headroom = kPipelineHeadroomBytes) {
+  return BufSlice::copy_of({v.data(), v.size()}, headroom);
+}
+
 // --- ByteBuf ---
 
 TEST(ByteBufTest, PrimitiveRoundTrip) {
@@ -94,8 +103,17 @@ TEST(ByteBufTest, WrapAndTake) {
   EXPECT_EQ(buf.read_u32(), 5u);
   ByteBuf out;
   out.write_u8(9);
-  auto taken = std::move(out).take();
-  EXPECT_EQ(taken, std::vector<std::uint8_t>{9});
+  auto taken = std::move(out).take_slice();
+  EXPECT_EQ(to_vec(taken), std::vector<std::uint8_t>{9});
+}
+
+TEST(ByteBufTest, WrapIsAView) {
+  // wrap must not copy: reads observe mutations of the wrapped storage.
+  std::vector<std::uint8_t> raw{0, 0, 0, 5};
+  auto buf = ByteBuf::wrap(raw);
+  raw[3] = 7;
+  EXPECT_EQ(buf.read_u32(), 7u);
+  EXPECT_EQ(buf.full_span().data(), raw.data());
 }
 
 // --- Snappy-like codec ---
@@ -191,7 +209,7 @@ TEST(FramingTest, EncodeDecodeSingleFrame) {
   EXPECT_EQ(framed.size(), payload.size() + kFrameHeaderBytes);
   FrameDecoder dec;
   std::vector<std::vector<std::uint8_t>> frames;
-  dec.set_on_frame([&](std::vector<std::uint8_t> f) { frames.push_back(std::move(f)); });
+  dec.set_on_frame([&](BufSlice f) { frames.push_back(to_vec(f)); });
   EXPECT_TRUE(dec.feed(framed));
   ASSERT_EQ(frames.size(), 1u);
   EXPECT_EQ(frames[0], payload);
@@ -210,7 +228,7 @@ TEST(FramingTest, ArbitraryChunkBoundaries) {
   }
   FrameDecoder dec;
   std::vector<std::vector<std::uint8_t>> got;
-  dec.set_on_frame([&](std::vector<std::uint8_t> f) { got.push_back(std::move(f)); });
+  dec.set_on_frame([&](BufSlice f) { got.push_back(to_vec(f)); });
   std::size_t pos = 0;
   while (pos < stream.size()) {
     const std::size_t n = std::min<std::size_t>(1 + rng.next_below(37),
@@ -226,7 +244,7 @@ TEST(FramingTest, ArbitraryChunkBoundaries) {
 TEST(FramingTest, EmptyFrameAllowed) {
   FrameDecoder dec;
   int count = 0;
-  dec.set_on_frame([&](std::vector<std::uint8_t> f) {
+  dec.set_on_frame([&](BufSlice f) {
     EXPECT_TRUE(f.empty());
     ++count;
   });
@@ -258,7 +276,7 @@ TEST(FramingTest, CorruptPayloadDetectedAndPoisons) {
   framed[kFrameHeaderBytes + 2] ^= 0x04;  // flip one payload bit in flight
   FrameDecoder dec;
   int delivered = 0;
-  dec.set_on_frame([&](std::vector<std::uint8_t>) { ++delivered; });
+  dec.set_on_frame([&](BufSlice) { ++delivered; });
   EXPECT_FALSE(dec.feed(framed));
   EXPECT_TRUE(dec.poisoned());
   EXPECT_EQ(dec.frames_corrupt(), 1u);
@@ -280,21 +298,21 @@ TEST(FramingTest, CorruptHeaderDetected) {
 TEST(PipelineTest, EmptyPipelinePassesThrough) {
   Pipeline p;
   std::vector<std::uint8_t> payload{1, 2, 3};
-  EXPECT_EQ(p.process_outbound(payload), payload);
-  auto in = p.process_inbound(payload);
+  EXPECT_EQ(to_vec(p.process_outbound(owned(payload))), payload);
+  auto in = p.process_inbound(owned(payload));
   ASSERT_TRUE(in);
-  EXPECT_EQ(*in, payload);
+  EXPECT_EQ(to_vec(*in), payload);
 }
 
 TEST(PipelineTest, CompressionRoundTrip) {
   Pipeline p;
   p.add_last(std::make_unique<CompressionHandler>(0));
   std::vector<std::uint8_t> payload(5000, 'x');
-  auto wire_form = p.process_outbound(payload);
+  auto wire_form = p.process_outbound(owned(payload));
   EXPECT_LT(wire_form.size(), payload.size());
   auto back = p.process_inbound(wire_form);
   ASSERT_TRUE(back);
-  EXPECT_EQ(*back, payload);
+  EXPECT_EQ(to_vec(*back), payload);
 }
 
 TEST(PipelineTest, IncompressibleStoredRaw) {
@@ -303,27 +321,27 @@ TEST(PipelineTest, IncompressibleStoredRaw) {
   Rng rng(43);
   std::vector<std::uint8_t> payload(1000);
   for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
-  auto wire_form = p.process_outbound(payload);
+  auto wire_form = p.process_outbound(owned(payload));
   EXPECT_EQ(wire_form.size(), payload.size() + 1);  // 1-byte raw tag
   auto back = p.process_inbound(wire_form);
   ASSERT_TRUE(back);
-  EXPECT_EQ(*back, payload);
+  EXPECT_EQ(to_vec(*back), payload);
 }
 
 TEST(PipelineTest, SmallPayloadBypass) {
   Pipeline p;
   p.add_last(std::make_unique<CompressionHandler>(64));
   std::vector<std::uint8_t> tiny(10, 'a');
-  auto wire_form = p.process_outbound(tiny);
+  auto wire_form = p.process_outbound(owned(tiny));
   EXPECT_EQ(wire_form.size(), tiny.size() + 1);
 }
 
 TEST(PipelineTest, CorruptInboundRejected) {
   Pipeline p;
   p.add_last(std::make_unique<CompressionHandler>(0));
-  EXPECT_FALSE(p.process_inbound({}));
-  EXPECT_FALSE(p.process_inbound({0x42, 1, 2}));  // unknown tag
-  EXPECT_FALSE(p.process_inbound({0x01, 0xFF}));  // truncated compressed body
+  EXPECT_FALSE(p.process_inbound(BufSlice{}));
+  EXPECT_FALSE(p.process_inbound(owned({0x42, 1, 2})));   // unknown tag
+  EXPECT_FALSE(p.process_inbound(owned({0x01, 0xFF})));   // truncated compressed body
 }
 
 TEST(PipelineTest, MultipleHandlersComposeInOrder) {
@@ -333,10 +351,10 @@ TEST(PipelineTest, MultipleHandlersComposeInOrder) {
   p.add_last(std::make_unique<CompressionHandler>(0));
   p.add_last(std::make_unique<CompressionHandler>(0));
   std::vector<std::uint8_t> payload(3000, 'z');
-  auto wire_form = p.process_outbound(payload);
+  auto wire_form = p.process_outbound(owned(payload));
   auto back = p.process_inbound(wire_form);
   ASSERT_TRUE(back);
-  EXPECT_EQ(*back, payload);
+  EXPECT_EQ(to_vec(*back), payload);
 }
 
 }  // namespace
