@@ -14,6 +14,8 @@ using messaging::Transport;
 DataInterceptor::~DataInterceptor() {
   for (auto& [peer, flow] : flows_) {
     if (flow->episode_cancel) flow->episode_cancel();
+    if (flow->black_tcp.expire) flow->black_tcp.expire();
+    if (flow->black_udt.expire) flow->black_udt.expire();
   }
 }
 
@@ -40,6 +42,11 @@ void DataInterceptor::setup() {
       *down_, [this](std::shared_ptr<const messaging::NetworkStatus> status) {
         on_status(*status);
         trigger(std::move(status), *up_);
+      });
+  subscribe_ptr<messaging::ConnectionStatus>(
+      *down_, [this](std::shared_ptr<const messaging::ConnectionStatus> cs) {
+        on_connection_status(*cs);
+        trigger(std::move(cs), *up_);
       });
 }
 
@@ -79,6 +86,8 @@ DataInterceptor::Flow& DataInterceptor::flow_for(const Address& peer) {
   flow->target_prob = flow->prp->begin(config_.initial_prob_udt);
   flow->psp->set_ratio(flow->target_prob);
 
+  flow->effective_prob = flow->target_prob;
+
   Flow& ref = *flow;
   flows_.emplace(peer, std::move(flow));
 
@@ -86,6 +95,79 @@ DataInterceptor::Flow& DataInterceptor::flow_for(const Address& peer) {
   ref.episode_cancel = system().scheduler().schedule_delayed(
       config_.episode_length, [this, raw] { episode_end(*raw); });
   return ref;
+}
+
+void DataInterceptor::apply_ratio(Flow& flow) {
+  double effective = flow.target_prob;
+  double lo = 0.0;
+  double hi = 1.0;
+  if (flow.black_udt.active && !flow.black_tcp.active) {
+    effective = 0.0;
+    hi = 0.0;
+  } else if (flow.black_tcp.active && !flow.black_udt.active) {
+    effective = 1.0;
+    lo = 1.0;
+  }
+  // Both blacklisted: no usable transport — the peer itself is (about to
+  // be) Dead and pump() is holding the queue, so the ratio is moot.
+  flow.effective_prob = effective;
+  flow.prp->set_bounds(lo, hi);
+  flow.psp->set_ratio(effective);
+}
+
+void DataInterceptor::blacklist_transport(Flow& flow, Transport t) {
+  Flow::Blacklist& b = t == Transport::kUdt ? flow.black_udt : flow.black_tcp;
+  if (b.expire) b.expire();
+  b.active = true;
+  Flow* raw = &flow;
+  b.expire = system().scheduler().schedule_delayed(
+      config_.fallback_probation, [this, raw, t] {
+        // Probation over: let the transport compete again. If the channel is
+        // still dead the next ConnectionStatus re-blacklists it.
+        clear_blacklist(*raw, t);
+      });
+  apply_ratio(flow);
+}
+
+void DataInterceptor::clear_blacklist(Flow& flow, Transport t) {
+  Flow::Blacklist& b = t == Transport::kUdt ? flow.black_udt : flow.black_tcp;
+  if (!b.active) return;
+  if (b.expire) b.expire();
+  b.expire = nullptr;
+  b.active = false;
+  apply_ratio(flow);
+  pump(flow);
+}
+
+void DataInterceptor::on_connection_status(
+    const messaging::ConnectionStatus& cs) {
+  if (!config_.enable_fallback) return;
+  auto it = flows_.find(cs.peer.with_vnode(0));
+  if (it == flows_.end()) return;
+  Flow& flow = *it->second;
+
+  if (!cs.transport) {
+    // Peer-scope transition.
+    if (cs.new_state == messaging::PeerHealth::kDead) {
+      flow.peer_dead = true;
+    } else if (flow.peer_dead) {
+      flow.peer_dead = false;
+      pump(flow);
+    }
+    return;
+  }
+
+  // Channel-scope transition for one of the DATA transports.
+  const Transport t = *cs.transport;
+  if (t != Transport::kTcp && t != Transport::kUdt) return;
+  if (cs.new_state == messaging::PeerHealth::kDead) {
+    KMSG_INFO("interceptor")
+        << "channel " << to_string(t) << " to " << cs.peer.to_string()
+        << " dead (" << to_string(cs.reason) << "); pinning DATA to survivor";
+    blacklist_transport(flow, t);
+  } else if (cs.new_state == messaging::PeerHealth::kHealthy) {
+    clear_blacklist(flow, t);
+  }
 }
 
 void DataInterceptor::release_one(Flow& flow) {
@@ -115,6 +197,7 @@ void DataInterceptor::release_one(Flow& flow) {
 }
 
 void DataInterceptor::pump(Flow& flow) {
+  if (flow.peer_dead) return;
   while (!flow.queue.empty() &&
          inflight_estimate(flow) < config_.inflight_window_bytes) {
     release_one(flow);
@@ -158,7 +241,7 @@ void DataInterceptor::episode_end(Flow& flow) {
   ++flow.episodes;
 
   flow.target_prob = flow.prp->update(stats);
-  flow.psp->set_ratio(flow.target_prob);
+  apply_ratio(flow);
   pump(flow);
 
   Flow* raw = &flow;
@@ -173,6 +256,10 @@ std::vector<DataInterceptor::FlowSnapshot> DataInterceptor::flows() const {
     FlowSnapshot s;
     s.peer = f->peer;
     s.target_prob_udt = f->target_prob;
+    s.effective_prob_udt = f->effective_prob;
+    s.tcp_blacklisted = f->black_tcp.active;
+    s.udt_blacklisted = f->black_udt.active;
+    s.peer_dead = f->peer_dead;
     if (const auto* td = dynamic_cast<const TDRatioLearner*>(f->prp.get())) {
       s.epsilon = td->epsilon();
     }

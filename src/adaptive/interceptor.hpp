@@ -38,6 +38,12 @@ struct DataNetworkConfig {
   std::optional<TDRatioConfig> td_config;
   double static_prob_udt = 0.5;  ///< used with PrpKind::kStatic
   std::uint64_t seed = 7;
+  /// Transport fallback: when the supervision layer reports a flow peer's
+  /// TCP or UDT channel Dead, DATA traffic is pinned to the survivor and the
+  /// dead transport blacklisted until probation expires (or the channel
+  /// reports healthy again, whichever comes first).
+  bool enable_fallback = true;
+  Duration fallback_probation = Duration::seconds(5.0);
 };
 
 class DataInterceptor final : public kompics::ComponentDefinition {
@@ -55,6 +61,7 @@ class DataInterceptor final : public kompics::ComponentDefinition {
   struct FlowSnapshot {
     messaging::Address peer;
     double target_prob_udt = 0.5;
+    double effective_prob_udt = 0.5;  ///< after blacklist pinning
     double epsilon = 0.0;  ///< 0 for non-TD policies
     double last_throughput_bps = 0.0;
     std::uint64_t released_tcp = 0;  ///< totals since flow start
@@ -62,6 +69,9 @@ class DataInterceptor final : public kompics::ComponentDefinition {
     std::size_t queued_messages = 0;
     std::uint64_t inflight_estimate = 0;
     std::uint64_t episodes = 0;
+    bool tcp_blacklisted = false;
+    bool udt_blacklisted = false;
+    bool peer_dead = false;
   };
   std::vector<FlowSnapshot> flows() const;
 
@@ -87,6 +97,18 @@ class DataInterceptor final : public kompics::ComponentDefinition {
     std::uint64_t episodes = 0;
     double last_throughput = 0.0;
     kompics::CancelFn episode_cancel;
+
+    // Transport fallback (driven by ConnectionStatus indications).
+    struct Blacklist {
+      bool active = false;
+      kompics::CancelFn expire;  // probation timer
+    };
+    Blacklist black_tcp;
+    Blacklist black_udt;
+    double effective_prob = 0.5;  // target_prob after blacklist pinning
+    /// Peer declared Dead at peer scope: hold the queue (releasing would
+    /// only manufacture PeerFailed notifies) until it recovers.
+    bool peer_dead = false;
   };
 
   void on_outgoing(messaging::MsgPtr msg,
@@ -95,6 +117,12 @@ class DataInterceptor final : public kompics::ComponentDefinition {
   void pump(Flow& flow);
   void release_one(Flow& flow);
   void on_status(const messaging::NetworkStatus& status);
+  void on_connection_status(const messaging::ConnectionStatus& cs);
+  /// Recomputes the PSP's executing ratio and the PRP's bounds from the
+  /// learner target and the current blacklist set.
+  void apply_ratio(Flow& flow);
+  void blacklist_transport(Flow& flow, messaging::Transport t);
+  void clear_blacklist(Flow& flow, messaging::Transport t);
   void episode_end(Flow& flow);
   std::uint64_t inflight_estimate(const Flow& flow) const {
     return flow.base_unacked + flow.released_since_status;

@@ -1,5 +1,7 @@
 #include "adaptive/prp.hpp"
 
+#include <algorithm>
+
 namespace kmsg::adaptive {
 
 TDRatioConfig matrix_learner_defaults() {
@@ -57,12 +59,28 @@ double TDRatioLearner::reward_of(const EpisodeStats& stats) const {
   return r;
 }
 
+double TDRatioLearner::clamp_pending() {
+  const double prob = grid_.state_to_prob(pending_state_);
+  const double clamped = std::clamp(prob, lo_bound_, hi_bound_);
+  if (clamped != prob) pending_state_ = grid_.prob_to_state(clamped);
+  return grid_.state_to_prob(pending_state_);
+}
+
+void TDRatioLearner::set_bounds(double lo, double hi) {
+  lo_bound_ = std::clamp(lo, 0.0, 1.0);
+  hi_bound_ = std::clamp(hi, lo_bound_, 1.0);
+  // The executing state must track the clamp immediately: the next update()
+  // attributes its reward to pending_state_, which must be the ratio the
+  // flow is actually running.
+  if (begun_) clamp_pending();
+}
+
 double TDRatioLearner::begin(double initial_prob_udt) {
   const int s0 = grid_.prob_to_state(initial_prob_udt);
   const int a0 = sarsa_->begin(s0);
   pending_state_ = model_.next_state(s0, a0);
   begun_ = true;
-  return grid_.state_to_prob(pending_state_);
+  return clamp_pending();
 }
 
 double TDRatioLearner::update(const EpisodeStats& stats) {
@@ -90,7 +108,7 @@ double TDRatioLearner::update(const EpisodeStats& stats) {
 
   const int a = sarsa_->step(reward, pending_state_);
   pending_state_ = model_.next_state(pending_state_, a);
-  return grid_.state_to_prob(pending_state_);
+  return clamp_pending();
 }
 
 std::unique_ptr<ProtocolRatioPolicy> make_prp(PrpKind kind, double static_prob,

@@ -35,6 +35,14 @@ class ProtocolRatioPolicy {
   /// Called at each episode end with that episode's stats; returns the
   /// target UDT probability for the next episode.
   virtual double update(const EpisodeStats& stats) = 0;
+  /// Restricts the achievable UDT probability to [lo, hi] — the interceptor
+  /// clamps the range while a transport is blacklisted so the learner's
+  /// rewards are attributed to the mix actually on the wire, not to a ratio
+  /// it could not execute. {0, 1} lifts the restriction. Default: ignored.
+  virtual void set_bounds(double lo, double hi) {
+    (void)lo;
+    (void)hi;
+  }
   virtual const char* name() const = 0;
 };
 
@@ -91,6 +99,7 @@ class TDRatioLearner final : public ProtocolRatioPolicy {
 
   double begin(double initial_prob_udt) override;
   double update(const EpisodeStats& stats) override;
+  void set_bounds(double lo, double hi) override;
   const char* name() const override { return "td"; }
 
   double epsilon() const { return sarsa_->epsilon(); }
@@ -101,12 +110,16 @@ class TDRatioLearner final : public ProtocolRatioPolicy {
 
  private:
   double reward_of(const EpisodeStats& stats) const;
+  /// Snaps pending_state_ into the bounded range and returns its probability.
+  double clamp_pending();
 
   TDRatioConfig config_;
   RatioGrid grid_;
   rl::AdditiveModel model_;
   std::unique_ptr<rl::SarsaLambda> sarsa_;
   int pending_state_ = 0;  // state (ratio) being executed this episode
+  double lo_bound_ = 0.0;  // blacklist clamp on the achievable UDT prob
+  double hi_bound_ = 1.0;
   bool begun_ = false;
   double best_reward_ = 0.0;   // watermark for change detection
   int low_reward_streak_ = 0;

@@ -16,14 +16,33 @@ void DataSource::setup() {
   subscribe<MessageNotifyResp>(*net_, [this](const MessageNotifyResp& resp) {
     auto it = pending_notifies_.find(resp.id);
     if (it == pending_notifies_.end()) return;
+    const ChunkRef failed = it->second;
     pending_notifies_.erase(it);
     --inflight_;
     if (resp.status == messaging::DeliveryStatus::kSent) {
       bytes_accepted_ += resp.bytes;
-    } else {
-      KMSG_WARN("data-source") << "chunk send failed via " << to_string(resp.via);
+      pump();
+      return;
     }
-    pump();
+    KMSG_WARN("data-source") << "chunk send failed via " << to_string(resp.via)
+                             << " (" << to_string(resp.status)
+                             << "), will retransmit offset " << failed.offset;
+    // The chunk never reached the wire; schedule it for retransmission so a
+    // fixed-size transfer still completes (queue overflow / peer death drop
+    // frames, and nothing below this layer resends them).
+    retry_queue_.push_back(failed);
+    // Back off before refilling: a full (or dead) path fails synchronously,
+    // and re-pumping in the same instant would spin without ever letting
+    // simulated time — and therefore the queue drain — advance.
+    if (!retry_pending_) {
+      retry_pending_ = true;
+      retry_cancel_ = system().scheduler().schedule_delayed(
+          config_.retry_backoff, [this] {
+            retry_pending_ = false;
+            retry_cancel_ = nullptr;
+            pump();
+          });
+    }
   });
   subscribe<TransferCompleteMsg>(*net_, [this](const TransferCompleteMsg& done) {
     if (done.transfer_id() != config_.transfer_id || finished_) return;
@@ -45,8 +64,15 @@ Duration DataSource::elapsed() const {
 }
 
 void DataSource::pump() {
-  while (!sent_all_ && inflight_ < config_.window_chunks) {
-    send_chunk();
+  while (inflight_ < config_.window_chunks &&
+         (!retry_queue_.empty() || !sent_all_)) {
+    if (!retry_queue_.empty()) {
+      const ChunkRef ref = retry_queue_.front();
+      retry_queue_.pop_front();
+      send_chunk_ref(ref);
+    } else {
+      send_chunk();
+    }
   }
 }
 
@@ -59,18 +85,22 @@ void DataSource::send_chunk() {
         std::min<std::uint64_t>(len, remaining));
     last = (remaining == len);
   }
+  const ChunkRef ref{next_offset_, len, last};
+  next_offset_ += len;
+  if (last) sent_all_ = true;
+  send_chunk_ref(ref);
+}
+
+void DataSource::send_chunk_ref(const ChunkRef& ref) {
   DataHeader header = (config_.protocol == Transport::kData)
                           ? DataHeader{config_.self, config_.dst}
                           : DataHeader{config_.self, config_.dst, config_.protocol};
   auto msg = std::make_shared<const DataChunkMsg>(
-      header, config_.transfer_id, next_offset_,
-      make_payload_slice(next_offset_, len),
-      last);
-  next_offset_ += len;
-  if (last) sent_all_ = true;
-
+      header, config_.transfer_id, ref.offset,
+      make_payload_slice(ref.offset, ref.len),
+      ref.last);
   const auto id = messaging::next_notify_id();
-  pending_notifies_.insert(id);
+  pending_notifies_.emplace(id, ref);
   ++inflight_;
   trigger(kompics::make_event<MessageNotifyReq>(std::move(msg), id), *net_);
 }

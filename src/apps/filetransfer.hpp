@@ -11,7 +11,9 @@
 // which is what the learner-convergence experiments (Figs. 2, 4-6) need.
 #pragma once
 
+#include <deque>
 #include <functional>
+#include <map>
 #include <set>
 
 #include "apps/messages.hpp"
@@ -32,6 +34,10 @@ struct DataSourceConfig {
   /// Max chunks awaiting a send notification (application backpressure).
   std::size_t window_chunks = 96;
   std::uint64_t transfer_id = 1;
+  /// Pause before refilling the window after a failed chunk. Without it a
+  /// streaming source spins against a full session queue (every synchronous
+  /// Failed notify re-opens the window at the same instant).
+  Duration retry_backoff = Duration::millis(20);
 };
 
 class DataSource final : public kompics::ComponentDefinition {
@@ -39,6 +45,9 @@ class DataSource final : public kompics::ComponentDefinition {
   using CompleteFn = std::function<void(Duration, std::uint64_t)>;
 
   explicit DataSource(DataSourceConfig config) : config_(config) {}
+  ~DataSource() override {
+    if (retry_cancel_) retry_cancel_();
+  }
 
   void setup() override;
 
@@ -52,9 +61,20 @@ class DataSource final : public kompics::ComponentDefinition {
   Duration elapsed() const;
 
  private:
+  /// A chunk's identity, kept per in-flight notify so a Failed/PeerFailed/
+  /// TimedOut outcome can be retransmitted instead of silently losing the
+  /// byte range (the network layer is at-most-once; end-to-end completeness
+  /// is the application's job).
+  struct ChunkRef {
+    std::uint64_t offset = 0;
+    std::size_t len = 0;
+    bool last = false;
+  };
+
   void start_transfer();
   void pump();
   void send_chunk();
+  void send_chunk_ref(const ChunkRef& ref);
 
   DataSourceConfig config_;
   kompics::PortInstance* net_ = nullptr;
@@ -65,7 +85,10 @@ class DataSource final : public kompics::ComponentDefinition {
   bool finished_ = false;
   TimePoint started_at_;
   TimePoint finished_at_;
-  std::set<messaging::NotifyId> pending_notifies_;
+  std::map<messaging::NotifyId, ChunkRef> pending_notifies_;
+  std::deque<ChunkRef> retry_queue_;
+  bool retry_pending_ = false;
+  kompics::CancelFn retry_cancel_;
   CompleteFn on_complete_;
 };
 

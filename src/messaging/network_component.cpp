@@ -18,12 +18,17 @@ NetworkComponent::NetworkComponent(netsim::Host& host, NetworkConfig config,
   if (config_.enable_compression) {
     pipeline_.add_last(std::make_unique<wire::CompressionHandler>());
   }
+  register_supervision_serializers(*registry_);
 }
 
 NetworkComponent::~NetworkComponent() {
   if (status_cancel_) status_cancel_();
+  if (supervision_cancel_) supervision_cancel_();
   for (auto& [key, s] : sessions_) {
     if (s->reconnect_timer) s->reconnect_timer();
+  }
+  for (auto& [addr, ps] : peers_) {
+    if (ps->probe_timer) ps->probe_timer();
   }
 }
 
@@ -39,6 +44,7 @@ void NetworkComponent::setup() {
     started_ = true;
     start_listeners();
     status_tick();
+    if (config_.supervision_enabled) supervision_tick();
   });
 }
 
@@ -157,6 +163,17 @@ void NetworkComponent::handle_outgoing(MsgPtr msg, std::optional<NotifyId> notif
     send_udp(*msg, notify);
     return;
   }
+  if (proto != Transport::kTcp && proto != Transport::kUdt &&
+      proto != Transport::kLedbat) {
+    // A header carrying an out-of-range transport value (corrupted or
+    // miscast) must still answer its notify — ids may never leak.
+    ++stats_.unsupported_transport;
+    ++stats_.msgs_dropped;
+    KMSG_WARN("network") << "unsupported transport "
+                         << static_cast<int>(proto) << "; dropping message";
+    if (notify) notify_result(*notify, DeliveryStatus::kFailed, proto, 0);
+    return;
+  }
 
   // If the protocol was rewritten (DATA fallback), the wire envelope must
   // carry the resolved protocol so the receiver sees what was actually used.
@@ -174,8 +191,27 @@ void NetworkComponent::handle_outgoing(MsgPtr msg, std::optional<NotifyId> notif
   // Header goes into the serialise slab's headroom: framing copies nothing.
   auto framed = wire::encode_frame_slice(std::move(processed));
 
-  Session& s = session_for(h.destination().with_vnode(0), proto);
+  const Address peer = h.destination().with_vnode(0);
+  if (config_.supervision_enabled) {
+    if (auto it = peers_.find(peer);
+        it != peers_.end() && it->second->health == PeerHealth::kDead) {
+      // The supervisor has declared this peer Dead: fail notifies
+      // immediately rather than letting them age in a queue, and park
+      // fire-and-forget frames for replay if the peer recovers in time.
+      if (notify) {
+        ++stats_.msgs_dropped;
+        notify_result(*notify, DeliveryStatus::kPeerFailed, proto,
+                      payload_bytes);
+      } else {
+        park_dead_letter(*it->second, std::move(framed), proto, payload_bytes);
+      }
+      return;
+    }
+  }
+
+  Session& s = session_for(peer, proto);
   if (s.queued_bytes + framed.size() > config_.session_queue_limit_bytes) {
+    ++stats_.queue_overflow;
     ++stats_.msgs_dropped;
     if (notify) notify_result(*notify, DeliveryStatus::kFailed, proto, payload_bytes);
     return;
@@ -226,6 +262,7 @@ NetworkComponent::Session& NetworkComponent::session_for(const Address& peer,
   Session& ref = *s;
   sessions_.emplace(key, std::move(s));
   ++stats_.sessions_opened;
+  if (config_.supervision_enabled) peer_state(peer);
   open_session(ref);
   return ref;
 }
@@ -253,6 +290,16 @@ void NetworkComponent::open_session(Session& s) {
     if (it == sessions_.end()) return;
     it->second->connected = true;
     it->second->reconnect_attempts = 0;
+    it->second->acked_snapshot = 0;
+    if (config_.supervision_enabled) {
+      if (it->second->channel_health != PeerHealth::kHealthy) {
+        emit_channel_status(peer, t, it->second->channel_health,
+                            PeerHealth::kHealthy, HealthReason::kConnected,
+                            0.0);
+        it->second->channel_health = PeerHealth::kHealthy;
+      }
+      record_alive(peer, HealthReason::kConnected);
+    }
     drain(*it->second);
   });
   conn->set_on_writable([this, peer, t] {
@@ -283,8 +330,10 @@ void NetworkComponent::drain(Session& s) {
     const std::size_t n = s.conn->write(rest);
     f.offset += n;
     if (f.offset < f.bytes.size()) break;  // transport backpressure
-    ++stats_.msgs_sent;
-    stats_.bytes_sent += f.payload_bytes;
+    if (!f.heartbeat) {
+      ++stats_.msgs_sent;
+      stats_.bytes_sent += f.payload_bytes;
+    }
     if (f.notify) {
       notify_result(*f.notify, DeliveryStatus::kSent, s.transport, f.payload_bytes);
     }
@@ -299,6 +348,12 @@ void NetworkComponent::on_session_closed(const Address& peer, Transport t) {
   Session& s = *it->second;
   ++stats_.sessions_closed;
 
+  if (config_.supervision_enabled && !s.connected) {
+    // The channel never established: no heartbeat stream exists for the phi
+    // statistics to observe, so the failed connect feeds suspicion directly.
+    peer_state(peer).phi.penalize(config_.phi_connect_fail_penalty);
+  }
+
   // Session re-establishment: if frames are still queued (the connection was
   // aborted by a poisoned frame stream, or collapsed mid-partition) retry
   // with backoff rather than dropping them. A partially written frame
@@ -311,6 +366,13 @@ void NetworkComponent::on_session_closed(const Address& peer, Transport t) {
     s.connected = false;
     s.conn = nullptr;
     s.queue.front().offset = 0;
+    if (config_.supervision_enabled &&
+        s.channel_health == PeerHealth::kHealthy) {
+      s.channel_health = PeerHealth::kSuspected;
+      emit_channel_status(peer, t, PeerHealth::kHealthy,
+                          PeerHealth::kSuspected, HealthReason::kSuspicion,
+                          peer_state(peer).phi.phi(system().clock().now()));
+    }
     const auto delay = Duration::nanos(
         config_.session_reconnect_backoff.as_nanos()
         << (s.reconnect_attempts - 1));
@@ -327,8 +389,44 @@ void NetworkComponent::on_session_closed(const Address& peer, Transport t) {
     return;
   }
 
+  if (config_.supervision_enabled && !s.queue.empty()) {
+    // Reconnects exhausted with frames still queued: the channel is dead.
+    // Notify-requested messages get a definitive PeerFailed; fire-and-forget
+    // frames are parked as dead letters for a possible recovery flush.
+    PeerState& ps = peer_state(peer);
+    const double score = ps.phi.phi(system().clock().now());
+    for (auto& f : s.queue) {
+      if (f.heartbeat) continue;
+      if (f.notify) {
+        ++stats_.msgs_dropped;
+        notify_result(*f.notify, DeliveryStatus::kPeerFailed, t,
+                      f.payload_bytes);
+      } else {
+        f.offset = 0;
+        park_dead_letter(ps, std::move(f.bytes), t, f.payload_bytes);
+      }
+    }
+    emit_channel_status(peer, t, s.channel_health, PeerHealth::kDead,
+                        HealthReason::kReconnectExhausted, score);
+    if (s.reconnect_timer) s.reconnect_timer();
+    sessions_.erase(it);
+    // If no other channel to the peer is alive, the peer itself is Dead —
+    // declare it so remaining (still-connecting) sessions are torn down and
+    // the probe cycle starts.
+    bool any_connected = false;
+    for (const auto& [key, other] : sessions_) {
+      if (key.first == peer && other->connected) { any_connected = true; break; }
+    }
+    if (!any_connected) {
+      declare_dead(peer, HealthReason::kReconnectExhausted,
+                   DeliveryStatus::kPeerFailed);
+    }
+    return;
+  }
+
   // At-most-once semantics: queued messages are lost; fail their notifies.
   for (const auto& f : s.queue) {
+    if (f.heartbeat) continue;
     ++stats_.msgs_dropped;
     if (f.notify) {
       notify_result(*f.notify, DeliveryStatus::kFailed, t, f.payload_bytes);
@@ -345,9 +443,9 @@ void NetworkComponent::attach_inbound(
   in->conn = conn;
   in->transport = t;
   in->decoder = std::make_unique<wire::FrameDecoder>();
-  in->decoder->set_on_frame(
-      [this](wire::BufSlice frame) { deliver_frame(std::move(frame)); });
   Inbound* raw = in.get();
+  in->decoder->set_on_frame(
+      [this, raw](wire::BufSlice frame) { deliver_frame(std::move(frame), raw); });
   conn->set_on_data([this, raw](std::span<const std::uint8_t> chunk) {
     if (!raw->decoder->feed(chunk)) {
       stats_.frames_corrupt += raw->decoder->frames_corrupt();
@@ -375,7 +473,7 @@ void NetworkComponent::remove_inbound(transport::StreamConnection* conn) {
                  inbound_.end());
 }
 
-void NetworkComponent::deliver_frame(wire::BufSlice frame) {
+void NetworkComponent::deliver_frame(wire::BufSlice frame, Inbound* from) {
   auto inbound = pipeline_.process_inbound(std::move(frame));
   if (!inbound) {
     ++stats_.deserialize_failures;
@@ -388,13 +486,346 @@ void NetworkComponent::deliver_frame(wire::BufSlice frame) {
     ++stats_.deserialize_failures;
     return;
   }
+  if (msg->type_id() == kHeartbeatTypeId) {
+    handle_heartbeat(static_cast<const HeartbeatMsg&>(*msg), from);
+    return;
+  }
   ++stats_.msgs_received;
   stats_.bytes_received += inbound_bytes;
+  if (config_.supervision_enabled) {
+    // Any inbound message proves the sender alive.
+    record_alive(msg->header().source().with_vnode(0), HealthReason::kEvidence);
+  }
   trigger(msg, *net_port_);
 }
 
 void NetworkComponent::deliver_udp(wire::BufSlice payload) {
-  deliver_frame(std::move(payload));
+  deliver_frame(std::move(payload), nullptr);
+}
+
+// --- Supervision ------------------------------------------------------------
+
+NetworkComponent::PeerState& NetworkComponent::peer_state(const Address& peer) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) {
+    auto ps = std::make_unique<PeerState>(config_.phi);
+    ps->phi.reset(system().clock().now());
+    it = peers_.emplace(peer, std::move(ps)).first;
+  }
+  return *it->second;
+}
+
+PeerHealth NetworkComponent::peer_health(const Address& peer) const {
+  const auto it = peers_.find(peer.with_vnode(0));
+  return it == peers_.end() ? PeerHealth::kHealthy : it->second->health;
+}
+
+std::size_t NetworkComponent::queued_bytes_total() const {
+  std::size_t total = 0;
+  for (const auto& [key, s] : sessions_) total += s->queued_bytes;
+  return total;
+}
+
+std::size_t NetworkComponent::dead_letter_bytes_total() const {
+  std::size_t total = 0;
+  for (const auto& [addr, ps] : peers_) total += ps->dead_letter_bytes;
+  return total;
+}
+
+void NetworkComponent::supervision_tick() {
+  const TimePoint now = system().clock().now();
+
+  // Acknowledgement progress counts as liveness evidence: during a bulk
+  // transfer the session queue never empties, so no heartbeats flow — but a
+  // peer that keeps acking bytes is self-evidently alive.
+  for (auto& [key, s] : sessions_) {
+    if (!s->connected || !s->conn) continue;
+    const std::uint64_t acked = s->conn->stats().bytes_acked;
+    if (acked > s->acked_snapshot) {
+      s->acked_snapshot = acked;
+      record_alive(key.first, HealthReason::kEvidence);
+    }
+  }
+
+  // Heartbeat pings on idle established channels. Busy channels are skipped:
+  // a heartbeat queued behind megabytes of backlog would measure queue depth,
+  // not liveness, and ack progress above already covers them.
+  for (auto& [key, s] : sessions_) {
+    if (s->connected && s->conn && s->queue.empty()) {
+      send_heartbeat(*s, peer_state(key.first));
+    }
+  }
+
+  // Evaluate suspicion for every peer with at least one channel. Peers with
+  // no sessions are dormant, not dead — nothing is expected from them.
+  for (auto& [addr, ps] : peers_) {
+    if (ps->health == PeerHealth::kDead) continue;
+    bool has_session = false;
+    for (const auto& [key, s] : sessions_) {
+      if (key.first == addr) { has_session = true; break; }
+    }
+    if (!has_session) continue;
+    const double score = ps->phi.phi(now);
+    if (ps->health == PeerHealth::kSuspected && score >= config_.phi_dead) {
+      declare_dead(addr, HealthReason::kSuspicionExpired,
+                   DeliveryStatus::kTimedOut);
+    } else if (ps->health != PeerHealth::kSuspected &&
+               score >= config_.phi_suspect) {
+      set_peer_health(addr, *ps, PeerHealth::kSuspected,
+                      HealthReason::kSuspicion);
+    }
+  }
+
+  supervision_cancel_ = system().scheduler().schedule_delayed(
+      config_.heartbeat_interval, [this] { supervision_tick(); });
+}
+
+void NetworkComponent::send_heartbeat(Session& s, PeerState& ps) {
+  HeartbeatMsg hb(BasicHeader(config_.self, s.peer, s.transport),
+                  /*request=*/true, ps.hb_seq++);
+  auto serialized = registry_->serialize(hb);
+  if (!serialized) return;
+  auto processed = pipeline_.process_outbound(std::move(*serialized));
+  auto framed = wire::encode_frame_slice(std::move(processed));
+  s.queued_bytes += framed.size();
+  s.queue.push_back(PendingFrame{std::move(framed), 0, {}, 0, /*heartbeat=*/true});
+  ++stats_.heartbeats_sent;
+  drain(s);
+}
+
+void NetworkComponent::handle_heartbeat(const HeartbeatMsg& hb, Inbound* from) {
+  ++stats_.heartbeats_received;
+  if (config_.supervision_enabled) {
+    record_alive(hb.header().source().with_vnode(0), HealthReason::kEvidence,
+                 /*interval_sample=*/true);
+  }
+  if (!hb.request()) return;
+
+  // Echo the heartbeat. Prefer an existing outbound session (keeps FIFO with
+  // our own pings); otherwise answer straight down the connection it arrived
+  // on. Never dial a new session just to ack a ping.
+  const Address src = hb.header().source().with_vnode(0);
+  const Transport t = from ? from->transport : hb.header().protocol();
+  HeartbeatMsg echo(BasicHeader(config_.self, hb.header().source(), t),
+                    /*request=*/false, hb.seq());
+  auto serialized = registry_->serialize(echo);
+  if (!serialized) return;
+  auto processed = pipeline_.process_outbound(std::move(*serialized));
+  auto framed = wire::encode_frame_slice(std::move(processed));
+  if (auto it = sessions_.find({src, t});
+      it != sessions_.end() && it->second->connected) {
+    Session& s = *it->second;
+    s.queued_bytes += framed.size();
+    s.queue.push_back(
+        PendingFrame{std::move(framed), 0, {}, 0, /*heartbeat=*/true});
+    ++stats_.heartbeats_sent;
+    drain(s);
+  } else if (from && from->conn && !from->closed) {
+    // Accepted connections are otherwise never written to; a heartbeat echo
+    // is the one exception. Partial writes are dropped — echoes are cheap
+    // and the next ping retries.
+    from->conn->write(framed.span());
+    ++stats_.heartbeats_sent;
+  }
+}
+
+void NetworkComponent::record_alive(const Address& peer, HealthReason reason,
+                                    bool interval_sample) {
+  if (!config_.supervision_enabled) return;
+  PeerState& ps = peer_state(peer);
+  const TimePoint now = system().clock().now();
+  if (interval_sample) {
+    ps.phi.heartbeat(now);
+  } else {
+    ps.phi.touch(now);
+  }
+  switch (ps.health) {
+    case PeerHealth::kHealthy:
+      // Letters parked by a single-channel exhaustion (peer alive via other
+      // transports) retry while evidence keeps flowing; the TTL bounds how
+      // long a hopeless channel is re-dialled.
+      flush_dead_letters(peer, ps);
+      break;
+    case PeerHealth::kSuspected:
+      set_peer_health(peer, ps, PeerHealth::kHealthy, reason);
+      break;
+    case PeerHealth::kDead: {
+      if (ps.probe_timer) {
+        ps.probe_timer();
+        ps.probe_timer = nullptr;
+      }
+      set_peer_health(peer, ps, PeerHealth::kRecovering, reason);
+      flush_dead_letters(peer, ps);
+      // Recovering normally completes on the next evidence (heartbeats over
+      // the sessions the flush re-opened). With nothing queued and nothing
+      // flushed there is no traffic to produce that evidence — the probe
+      // connect itself was the end-to-end proof, so complete immediately.
+      bool any_session = false;
+      for (const auto& [key, s] : sessions_) {
+        if (key.first == peer) { any_session = true; break; }
+      }
+      if (!any_session) {
+        set_peer_health(peer, ps, PeerHealth::kHealthy, reason);
+      }
+      break;
+    }
+    case PeerHealth::kRecovering:
+      set_peer_health(peer, ps, PeerHealth::kHealthy, reason);
+      break;
+  }
+}
+
+void NetworkComponent::park_dead_letter(PeerState& ps, wire::BufSlice frame,
+                                        Transport t,
+                                        std::size_t payload_bytes) {
+  ps.dead_letter_bytes += frame.size();
+  ps.dead_letters.push_back(
+      DeadLetter{std::move(frame), t, payload_bytes, system().clock().now()});
+  ++stats_.dead_letters_buffered;
+  while (ps.dead_letter_bytes > config_.dead_letter_limit_bytes &&
+         !ps.dead_letters.empty()) {
+    ps.dead_letter_bytes -= ps.dead_letters.front().frame.size();
+    ps.dead_letters.pop_front();
+    ++stats_.dead_letters_dropped;
+    ++stats_.msgs_dropped;
+  }
+}
+
+void NetworkComponent::declare_dead(const Address& peer, HealthReason reason,
+                                    DeliveryStatus status) {
+  PeerState& ps = peer_state(peer);
+  if (ps.health == PeerHealth::kDead) return;
+  const TimePoint now = system().clock().now();
+  const double score = ps.phi.phi(now);
+
+  // Tear down every channel to the peer. Sessions leave the map before their
+  // connections are aborted so the deferred on_closed teardown finds nothing
+  // (same discipline as idle reclamation).
+  std::vector<std::shared_ptr<transport::StreamConnection>> doomed;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->first.first != peer) {
+      ++it;
+      continue;
+    }
+    Session& s = *it->second;
+    for (auto& f : s.queue) {
+      if (f.heartbeat) continue;
+      if (f.notify) {
+        ++stats_.msgs_dropped;
+        notify_result(*f.notify, status, s.transport, f.payload_bytes);
+      } else {
+        f.offset = 0;
+        park_dead_letter(ps, std::move(f.bytes), s.transport, f.payload_bytes);
+      }
+    }
+    if (s.reconnect_timer) s.reconnect_timer();
+    if (s.channel_health != PeerHealth::kDead) {
+      emit_channel_status(peer, s.transport, s.channel_health,
+                          PeerHealth::kDead, reason, score);
+    }
+    if (s.conn) doomed.push_back(s.conn);
+    ++stats_.sessions_closed;
+    it = sessions_.erase(it);
+  }
+  for (auto& conn : doomed) conn->abort();
+
+  set_peer_health(peer, ps, PeerHealth::kDead, reason);
+
+  ps.probe_timer = system().scheduler().schedule_delayed(
+      config_.dead_peer_probe_interval, [this, peer] { probe_dead_peer(peer); });
+}
+
+void NetworkComponent::probe_dead_peer(const Address& peer) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second->health != PeerHealth::kDead) return;
+  PeerState& ps = *it->second;
+  ps.probe_timer = nullptr;
+
+  // TCP probe: the cheapest channel to establish, and success is evidence
+  // enough for the whole peer (Recovering re-opens per-transport sessions on
+  // demand anyway).
+  auto conn = transport::TcpConnection::connect(host_, peer.host, peer.port,
+                                                config_.tcp);
+  ps.probe_conn = conn;
+  auto* raw = conn.get();
+  conn->set_on_connected([this, peer, raw] {
+    record_alive(peer, HealthReason::kProbeSucceeded);
+    host_.network_simulator().schedule_after(Duration::zero(), [this, peer, raw] {
+      auto pit = peers_.find(peer);
+      if (pit != peers_.end() && pit->second->probe_conn.get() == raw) {
+        auto doomed = pit->second->probe_conn;
+        pit->second->probe_conn = nullptr;
+        doomed->close();
+      }
+    });
+  });
+  conn->set_on_closed([this, peer, raw] {
+    host_.network_simulator().schedule_after(Duration::zero(), [this, peer, raw] {
+      auto pit = peers_.find(peer);
+      if (pit == peers_.end() || pit->second->probe_conn.get() != raw) return;
+      PeerState& state = *pit->second;
+      state.probe_conn = nullptr;
+      if (state.health == PeerHealth::kDead && !state.probe_timer) {
+        state.probe_timer = system().scheduler().schedule_delayed(
+            config_.dead_peer_probe_interval,
+            [this, peer] { probe_dead_peer(peer); });
+      }
+    });
+  });
+}
+
+void NetworkComponent::flush_dead_letters(const Address& peer, PeerState& ps) {
+  if (ps.dead_letters.empty()) return;
+  const TimePoint now = system().clock().now();
+  std::deque<DeadLetter> letters;
+  letters.swap(ps.dead_letters);
+  ps.dead_letter_bytes = 0;
+  for (auto& dl : letters) {
+    if (now - dl.at > config_.dead_letter_ttl) {
+      ++stats_.dead_letters_dropped;
+      ++stats_.msgs_dropped;
+      continue;
+    }
+    Session& s = session_for(peer, dl.transport);
+    if (s.queued_bytes + dl.frame.size() > config_.session_queue_limit_bytes) {
+      ++stats_.dead_letters_dropped;
+      ++stats_.queue_overflow;
+      ++stats_.msgs_dropped;
+      continue;
+    }
+    s.queued_bytes += dl.frame.size();
+    s.queue.push_back(
+        PendingFrame{std::move(dl.frame), 0, {}, dl.payload_bytes});
+    ++stats_.dead_letters_flushed;
+    if (s.connected) drain(s);
+  }
+}
+
+void NetworkComponent::set_peer_health(const Address& peer, PeerState& ps,
+                                       PeerHealth next, HealthReason reason) {
+  if (ps.health == next) return;
+  const PeerHealth old = ps.health;
+  ps.health = next;
+  if (next == PeerHealth::kSuspected) ++stats_.peers_suspected;
+  if (next == PeerHealth::kDead) ++stats_.peers_died;
+  if (old == PeerHealth::kRecovering && next == PeerHealth::kHealthy) {
+    ++stats_.peers_recovered;
+  }
+  const double score = ps.phi.phi(system().clock().now());
+  KMSG_INFO("network") << "peer " << peer.to_string() << " "
+                       << to_string(old) << " -> " << to_string(next) << " ("
+                       << to_string(reason) << ", phi=" << score << ")";
+  trigger(kompics::make_event<ConnectionStatus>(peer, std::nullopt, old, next,
+                                                reason, score),
+          *net_port_);
+}
+
+void NetworkComponent::emit_channel_status(const Address& peer, Transport t,
+                                           PeerHealth old_h, PeerHealth new_h,
+                                           HealthReason reason, double phi) {
+  trigger(kompics::make_event<ConnectionStatus>(
+              peer, std::optional<Transport>(t), old_h, new_h, reason, phi),
+          *net_port_);
 }
 
 }  // namespace kmsg::messaging

@@ -30,6 +30,7 @@
 #include "kompics/system.hpp"
 #include "messaging/network_port.hpp"
 #include "messaging/serialization.hpp"
+#include "messaging/supervision.hpp"
 #include "transport/ledbat.hpp"
 #include "transport/tcp.hpp"
 #include "transport/udp.hpp"
@@ -61,8 +62,11 @@ struct NetworkConfig {
   /// Cadence of NetworkStatus indications (reward signal for the learner).
   Duration status_interval = Duration::millis(100);
   /// Per-session cap on queued-but-unwritten frame bytes; messages beyond
-  /// it are dropped (at-most-once) and notified as failed.
-  std::size_t session_queue_limit_bytes = 512 * 1024 * 1024;
+  /// it are dropped (at-most-once), counted as queue_overflow, and notified
+  /// as failed. 4 MiB: enough for ~64 of the paper's 65 kB chunks — a
+  /// healthy session drains that in well under a second, so anything deeper
+  /// is a dead peer masquerading as backlog.
+  std::size_t session_queue_limit_bytes = 4 * 1024 * 1024;
   /// Idle outbound sessions are eventually closed to reclaim resources —
   /// conservatively, since channel establishment may be expensive (the
   /// paper cites NAT hole punching, §III-C). Duration::zero() disables
@@ -75,6 +79,32 @@ struct NetworkConfig {
   int session_reconnect_attempts = 3;
   /// Base delay before a reconnect attempt; doubles per consecutive failure.
   Duration session_reconnect_backoff = Duration::millis(200);
+
+  // --- Channel supervision (peer-health FSM, heartbeats, dead letters) ---
+  /// Master switch for the supervision layer: heartbeat exchange, phi
+  /// accrual, ConnectionStatus indications, and dead-letter handling.
+  bool supervision_enabled = true;
+  /// Heartbeat cadence on idle established sessions (busy sessions derive
+  /// liveness evidence from acknowledgement progress instead).
+  Duration heartbeat_interval = Duration::millis(100);
+  /// Phi-accrual detector parameters (window, std floor, acceptable pause).
+  PhiConfig phi;
+  /// Suspicion score at which a peer transitions Healthy -> Suspected.
+  double phi_suspect = 1.0;
+  /// Suspicion score at which a Suspected peer is declared Dead: sessions
+  /// are torn down, queued notifies answered TimedOut, frames dead-lettered.
+  double phi_dead = 8.0;
+  /// Suspicion added per failed connect attempt (a channel that cannot
+  /// establish produces no heartbeats for the statistics to observe).
+  double phi_connect_fail_penalty = 2.0;
+  /// While a peer is Dead, a probe connect is attempted at this cadence; a
+  /// successful probe (or any inbound evidence) moves it to Recovering.
+  Duration dead_peer_probe_interval = Duration::seconds(2.0);
+  /// Per-peer cap on dead-letter bytes; overflow evicts the oldest letters.
+  std::size_t dead_letter_limit_bytes = 4 * 1024 * 1024;
+  /// Dead letters older than this are dropped instead of flushed when the
+  /// peer recovers (the application has long since given up on them).
+  Duration dead_letter_ttl = Duration::seconds(10.0);
 };
 
 struct NetworkComponentStats {
@@ -91,6 +121,17 @@ struct NetworkComponentStats {
   std::uint64_t sessions_closed = 0;
   std::uint64_t session_reconnects = 0;  ///< re-establishments after a dead session
   std::uint64_t frames_corrupt = 0;      ///< inbound frames failing the CRC check
+  std::uint64_t queue_overflow = 0;      ///< drops at the session queue cap
+  std::uint64_t unsupported_transport = 0;
+  // Supervision layer.
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_received = 0;
+  std::uint64_t peers_suspected = 0;
+  std::uint64_t peers_died = 0;
+  std::uint64_t peers_recovered = 0;
+  std::uint64_t dead_letters_buffered = 0;
+  std::uint64_t dead_letters_flushed = 0;
+  std::uint64_t dead_letters_dropped = 0;  ///< evicted or expired, never resent
 };
 
 class NetworkComponent final : public kompics::ComponentDefinition {
@@ -105,12 +146,22 @@ class NetworkComponent final : public kompics::ComponentDefinition {
   const NetworkComponentStats& net_stats() const { return stats_; }
   const NetworkConfig& net_config() const { return config_; }
 
+  /// Supervision view of a peer (keyed by vnode-stripped address); kHealthy
+  /// for peers the component has never tracked.
+  PeerHealth peer_health(const Address& peer) const;
+  /// Sum of queued-but-unwritten bytes across all sessions (test hook: a
+  /// Dead declaration must leave nothing behind).
+  std::size_t queued_bytes_total() const;
+  std::size_t session_count() const { return sessions_.size(); }
+  std::size_t dead_letter_bytes_total() const;
+
  private:
   struct PendingFrame {
     wire::BufSlice bytes;    // framed message (a view of the serialise slab)
     std::size_t offset = 0;  // bytes already written to the transport
     std::optional<NotifyId> notify;
     std::size_t payload_bytes = 0;  // pre-framing size, for the notify
+    bool heartbeat = false;  // internal probe: exempt from caps and letters
   };
 
   struct Session {
@@ -123,6 +174,9 @@ class NetworkComponent final : public kompics::ComponentDefinition {
     TimePoint last_activity = TimePoint::zero();
     int reconnect_attempts = 0;        // consecutive failures since last connect
     kompics::CancelFn reconnect_timer; // pending re-establishment, if any
+    // Supervision bookkeeping.
+    PeerHealth channel_health = PeerHealth::kHealthy;  // last reported state
+    std::uint64_t acked_snapshot = 0;  // bytes_acked at the last tick
   };
 
   struct Inbound {
@@ -130,6 +184,29 @@ class NetworkComponent final : public kompics::ComponentDefinition {
     std::unique_ptr<wire::FrameDecoder> decoder;
     Transport transport = Transport::kTcp;
     bool closed = false;
+  };
+
+  /// A frame parked when its peer was Dead, replayed on recovery if still
+  /// within dead_letter_ttl. Notify-requested messages are never parked —
+  /// they get a definitive PeerFailed/TimedOut answer instead.
+  struct DeadLetter {
+    wire::BufSlice frame;
+    Transport transport = Transport::kTcp;
+    std::size_t payload_bytes = 0;
+    TimePoint at = TimePoint::zero();
+  };
+
+  /// Per-peer supervision state (keyed by vnode-stripped address).
+  struct PeerState {
+    PeerHealth health = PeerHealth::kHealthy;
+    PhiAccrualDetector phi;
+    std::uint64_t hb_seq = 0;  // next heartbeat sequence number
+    kompics::CancelFn probe_timer;  // armed while Dead
+    std::shared_ptr<transport::StreamConnection> probe_conn;
+    std::deque<DeadLetter> dead_letters;
+    std::size_t dead_letter_bytes = 0;
+
+    explicit PeerState(PhiConfig cfg) : phi(cfg) {}
   };
 
   void handle_outgoing(MsgPtr msg, std::optional<NotifyId> notify);
@@ -142,12 +219,39 @@ class NetworkComponent final : public kompics::ComponentDefinition {
   void attach_inbound(std::shared_ptr<transport::StreamConnection> conn,
                       Transport t, bool manage_close = true);
   void remove_inbound(transport::StreamConnection* conn);
-  void deliver_frame(wire::BufSlice frame);
+  void deliver_frame(wire::BufSlice frame, Inbound* from);
   void deliver_udp(wire::BufSlice payload);
   void notify_result(NotifyId id, DeliveryStatus status, Transport via,
                      std::size_t bytes);
   void start_listeners();
   void status_tick();
+
+  // --- Supervision ---
+  PeerState& peer_state(const Address& peer);
+  void supervision_tick();
+  void send_heartbeat(Session& s, PeerState& ps);
+  void handle_heartbeat(const HeartbeatMsg& hb, Inbound* from);
+  /// Registers liveness evidence for `peer`: feeds the phi detector and
+  /// drives Suspected -> Healthy / Dead -> Recovering / Recovering -> Healthy.
+  /// `interval_sample` is true only for heartbeat arrivals, which carry
+  /// cadence information; other evidence merely refreshes the clock.
+  void record_alive(const Address& peer, HealthReason reason,
+                    bool interval_sample = false);
+  /// Parks a fire-and-forget frame for possible replay on recovery,
+  /// evicting the oldest letters past the per-peer byte cap.
+  void park_dead_letter(PeerState& ps, wire::BufSlice frame, Transport t,
+                        std::size_t payload_bytes);
+  /// Declares a peer Dead: cancels reconnects, answers queued notifies with
+  /// `status`, parks fire-and-forget frames as dead letters, tears down all
+  /// of the peer's sessions, and arms the probe timer.
+  void declare_dead(const Address& peer, HealthReason reason,
+                    DeliveryStatus status);
+  void probe_dead_peer(const Address& peer);
+  void flush_dead_letters(const Address& peer, PeerState& ps);
+  void set_peer_health(const Address& peer, PeerState& ps, PeerHealth next,
+                       HealthReason reason);
+  void emit_channel_status(const Address& peer, Transport t, PeerHealth old_h,
+                           PeerHealth new_h, HealthReason reason, double phi);
 
   netsim::Host& host_;
   NetworkConfig config_;
@@ -163,8 +267,10 @@ class NetworkComponent final : public kompics::ComponentDefinition {
 
   std::map<std::pair<Address, Transport>, std::unique_ptr<Session>> sessions_;
   std::vector<std::unique_ptr<Inbound>> inbound_;
+  std::map<Address, std::unique_ptr<PeerState>> peers_;
 
   kompics::CancelFn status_cancel_;
+  kompics::CancelFn supervision_cancel_;
   bool started_ = false;
   NetworkComponentStats stats_;
 };

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "kompics/port_type.hpp"
@@ -24,9 +25,26 @@ struct MessageNotifyReq final : kompics::KompicsEvent {
 enum class DeliveryStatus : std::uint8_t {
   /// All bytes were accepted by the transport (stream) / emitted (UDP).
   kSent,
-  /// The session failed or the message was rejected before transmission.
+  /// The session failed or the message was rejected before transmission
+  /// (serialisation error, unsupported transport, queue overflow).
   kFailed,
+  /// The destination peer was declared Dead by the supervision layer after
+  /// channel reconnect attempts were exhausted.
+  kPeerFailed,
+  /// The message was still queued when heartbeat suspicion (phi accrual)
+  /// declared the peer Dead — the path timed out rather than hard-failed.
+  kTimedOut,
 };
+
+constexpr const char* to_string(DeliveryStatus s) {
+  switch (s) {
+    case DeliveryStatus::kSent: return "Sent";
+    case DeliveryStatus::kFailed: return "Failed";
+    case DeliveryStatus::kPeerFailed: return "PeerFailed";
+    case DeliveryStatus::kTimedOut: return "TimedOut";
+  }
+  return "?";
+}
 
 struct MessageNotifyResp final : kompics::KompicsEvent {
   MessageNotifyResp(NotifyId id_, DeliveryStatus status_, Transport via_,
@@ -55,6 +73,66 @@ struct NetworkStatus final : kompics::KompicsEvent {
   std::vector<SessionStatus> sessions;
 };
 
+// --- Channel supervision (peer-health FSM) ---------------------------------
+
+/// Health of a peer (aggregated over its channels) or of one channel.
+enum class PeerHealth : std::uint8_t {
+  kHealthy,     ///< recent liveness evidence (heartbeats / ack progress)
+  kSuspected,   ///< phi accrual crossed the suspicion threshold
+  kDead,        ///< suspicion expired or reconnects exhausted; queues drained
+  kRecovering,  ///< evidence of life after Dead; dead letters flushing
+};
+
+constexpr const char* to_string(PeerHealth h) {
+  switch (h) {
+    case PeerHealth::kHealthy: return "Healthy";
+    case PeerHealth::kSuspected: return "Suspected";
+    case PeerHealth::kDead: return "Dead";
+    case PeerHealth::kRecovering: return "Recovering";
+  }
+  return "?";
+}
+
+/// Why a health transition happened.
+enum class HealthReason : std::uint8_t {
+  kConnected,           ///< channel (re-)established
+  kEvidence,            ///< heartbeat / ack progress arrived
+  kSuspicion,           ///< phi crossed the suspect threshold
+  kSuspicionExpired,    ///< phi crossed the dead threshold
+  kReconnectExhausted,  ///< channel died after all reconnect attempts failed
+  kProbeSucceeded,      ///< probe connect to a Dead peer came back
+};
+
+constexpr const char* to_string(HealthReason r) {
+  switch (r) {
+    case HealthReason::kConnected: return "connected";
+    case HealthReason::kEvidence: return "evidence";
+    case HealthReason::kSuspicion: return "suspicion";
+    case HealthReason::kSuspicionExpired: return "suspicion-expired";
+    case HealthReason::kReconnectExhausted: return "reconnect-exhausted";
+    case HealthReason::kProbeSucceeded: return "probe-succeeded";
+  }
+  return "?";
+}
+
+/// Supervision indication: a peer- or channel-health transition. Emitted by
+/// the network component whenever the per-peer FSM (transport == nullopt) or
+/// a single (peer, transport) channel (transport set) changes state. The
+/// adaptive interceptor uses channel-scope transitions for transport
+/// fallback; applications can react to peer-scope ones.
+struct ConnectionStatus final : kompics::KompicsEvent {
+  ConnectionStatus(Address p, std::optional<Transport> t, PeerHealth o,
+                   PeerHealth n, HealthReason r, double phi_)
+      : peer(p), transport(t), old_state(o), new_state(n), reason(r),
+        phi(phi_) {}
+  Address peer;
+  std::optional<Transport> transport;  ///< nullopt = peer-scope transition
+  PeerHealth old_state;
+  PeerHealth new_state;
+  HealthReason reason;
+  double phi;  ///< suspicion score at transition time
+};
+
 struct Network : kompics::PortType {
   Network() {
     set_name("Network");
@@ -63,6 +141,7 @@ struct Network : kompics::PortType {
     indication<Msg>();
     indication<MessageNotifyResp>();
     indication<NetworkStatus>();
+    indication<ConnectionStatus>();
   }
 };
 

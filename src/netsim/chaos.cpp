@@ -136,6 +136,28 @@ ChaosSchedule& ChaosSchedule::duplicate_at(Duration t, HostId a, HostId b,
              });
 }
 
+ChaosSchedule& ChaosSchedule::block_udp_at(Duration t, HostId a, HostId b,
+                                           bool block) {
+  return add(t,
+             std::string(block ? "block" : "unblock") + "-udp(" +
+                 pair_string(a, b) + ")",
+             [this, a, b, block] {
+               for_pair(a, b, [block](Link& l) { l.set_block_udp(block); });
+               ++stats_.proto_blocks;
+             });
+}
+
+ChaosSchedule& ChaosSchedule::block_tcp_at(Duration t, HostId a, HostId b,
+                                           bool block) {
+  return add(t,
+             std::string(block ? "block" : "unblock") + "-tcp(" +
+                 pair_string(a, b) + ")",
+             [this, a, b, block] {
+               for_pair(a, b, [block](Link& l) { l.set_block_tcp(block); });
+               ++stats_.proto_blocks;
+             });
+}
+
 ChaosSchedule& ChaosSchedule::link_down_at(Duration t, HostId a, HostId b) {
   return add(t, "down(" + pair_string(a, b) + ")", [this, a, b] {
     for_pair(a, b, [](Link& l) { l.set_up(false); });

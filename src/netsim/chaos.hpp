@@ -29,8 +29,10 @@ struct ChaosStats {
   std::uint64_t link_flaps = 0;  ///< down and up transitions
   std::uint64_t rate_changes = 0;  ///< loss / corrupt / duplicate / reorder
   std::uint64_t delay_changes = 0;
+  std::uint64_t proto_blocks = 0;  ///< UDP/TCP selective blackhole toggles
   std::uint64_t total() const {
-    return partitions + heals + link_flaps + rate_changes + delay_changes;
+    return partitions + heals + link_flaps + rate_changes + delay_changes +
+           proto_blocks;
   }
 };
 
@@ -63,6 +65,11 @@ class ChaosSchedule {
   ChaosSchedule& corrupt_at(Duration t, HostId a, HostId b, double rate);
   /// at t: set duplication probability on the duplex pair (a, b).
   ChaosSchedule& duplicate_at(Duration t, HostId a, HostId b, double rate);
+  /// at t: blackhole (or readmit) all UDP datagrams on the duplex pair —
+  /// kills UDT/LEDBAT/UDP channels while TCP keeps flowing.
+  ChaosSchedule& block_udp_at(Duration t, HostId a, HostId b, bool block);
+  /// at t: blackhole (or readmit) all TCP datagrams on the duplex pair.
+  ChaosSchedule& block_tcp_at(Duration t, HostId a, HostId b, bool block);
   /// at t: take the duplex pair (a, b) down / bring it back up.
   ChaosSchedule& link_down_at(Duration t, HostId a, HostId b);
   ChaosSchedule& link_up_at(Duration t, HostId a, HostId b);

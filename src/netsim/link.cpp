@@ -44,6 +44,11 @@ void Link::send(const Datagram& dg) {
     ++stats_.drops_link_down;
     return;
   }
+  if ((config_.block_udp && dg.proto == IpProto::kUdp) ||
+      (config_.block_tcp && dg.proto == IpProto::kTcp)) {
+    ++stats_.drops_proto_blocked;
+    return;
+  }
   if (!policer_admit(dg)) {
     ++stats_.drops_policer;
     return;

@@ -46,6 +46,12 @@ struct LinkConfig {
   double reorder_rate = 0.0;
   /// Maximum extra one-way delay drawn uniformly for a jittered datagram.
   Duration reorder_jitter = Duration::millis(0);
+  /// Protocol-selective blackholes: drop every UDP (resp. TCP) datagram
+  /// while leaving the other protocol untouched. Models middlebox filtering
+  /// (the paper's EC2 observations include UDP-hostile paths) and gives the
+  /// chaos harness a way to kill one transport channel in isolation.
+  bool block_udp = false;
+  bool block_tcp = false;
 };
 
 struct LinkStats {
@@ -57,6 +63,7 @@ struct LinkStats {
   std::uint64_t bytes_delivered = 0;
   // Per-fault counters (chaos observability).
   std::uint64_t drops_link_down = 0;  ///< offered or queued while down
+  std::uint64_t drops_proto_blocked = 0;  ///< UDP/TCP selective blackhole
   std::uint64_t duplicated = 0;
   std::uint64_t corrupted = 0;
   std::uint64_t reordered = 0;
@@ -87,6 +94,8 @@ class Link {
     config_.reorder_rate = rate;
     config_.reorder_jitter = jitter;
   }
+  void set_block_udp(bool block) { config_.block_udp = block; }
+  void set_block_tcp(bool block) { config_.block_tcp = block; }
 
   /// Takes the link down (queued datagrams are lost, as on a dead cable) or
   /// brings it back up. Datagrams already in flight still arrive.
