@@ -19,3 +19,10 @@ kmsg_bench(fig9_throughput)
 kmsg_bench(ablation_udt_buffers)
 kmsg_bench(ablation_adaptivity)
 kmsg_bench(micro_benchmarks)
+# The micro-benchmark binary self-reports how it was built so the schema
+# check can refuse numbers from unoptimized or sanitized builds.
+target_compile_definitions(micro_benchmarks PRIVATE
+  KMSG_BUILD_TYPE="${CMAKE_BUILD_TYPE}")
+if(KMSG_SANITIZE)
+  target_compile_definitions(micro_benchmarks PRIVATE KMSG_SANITIZED=1)
+endif()

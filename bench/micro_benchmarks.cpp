@@ -276,4 +276,27 @@ BENCHMARK(BM_PayloadGeneration);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Build-type annotation (bench credibility): the schema check refuses numbers
+// from unoptimized builds, so the binary records how it was compiled.
+#ifndef KMSG_BUILD_TYPE
+#define KMSG_BUILD_TYPE "unknown"
+#endif
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("kmsg_build_type", KMSG_BUILD_TYPE);
+#ifdef NDEBUG
+  benchmark::AddCustomContext("kmsg_asserts", "off");
+#else
+  benchmark::AddCustomContext("kmsg_asserts", "on");
+#endif
+#ifdef KMSG_SANITIZED
+  benchmark::AddCustomContext("kmsg_sanitized", "yes");
+#else
+  benchmark::AddCustomContext("kmsg_sanitized", "no");
+#endif
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

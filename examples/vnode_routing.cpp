@@ -51,7 +51,7 @@ void register_chat(SerializerRegistry& reg) {
         std::vector<Address> hops;
         for (std::uint64_t i = 0; i < n; ++i) hops.push_back(Address::deserialize(buf));
         const auto next = static_cast<std::size_t>(buf.read_varint());
-        return std::make_shared<const ChatMsg>(h, std::move(text),
+        return kompics::make_event<ChatMsg>(h, std::move(text),
                                                Route{std::move(hops), next});
       });
 }
@@ -124,7 +124,7 @@ int main() {
   // network stack.
   auto say = [&](std::uint64_t vnode, const std::string& text, Transport t) {
     BasicHeader h{exp.addr_a(), exp.addr_b().with_vnode(vnode), t};
-    alice.network().publish(std::make_shared<const ChatMsg>(h, text));
+    alice.network().publish(kompics::make_event<ChatMsg>(h, text));
   };
 
   say(1, "hello lobby", Transport::kTcp);
@@ -137,7 +137,7 @@ int main() {
   const auto serialized_before = exp.registry()->messages_serialized();
   BasicHeader whisper{exp.addr_b().with_vnode(2), exp.addr_b().with_vnode(3),
                       Transport::kTcp};
-  dev.network().publish(std::make_shared<const ChatMsg>(whisper, "psst, ops"));
+  dev.network().publish(kompics::make_event<ChatMsg>(whisper, "psst, ops"));
   exp.run_for(Duration::millis(200));
   std::printf("  messages serialised during whisper: %llu (expected 0)\n",
               static_cast<unsigned long long>(
@@ -147,7 +147,7 @@ int main() {
   Route route({exp.addr_b().with_vnode(3)});  // remaining hop after B#1
   BasicHeader routed{exp.addr_a(), exp.addr_b().with_vnode(1), Transport::kTcp};
   alice.network().publish(
-      std::make_shared<const ChatMsg>(routed, "routed hello", route));
+      kompics::make_event<ChatMsg>(routed, "routed hello", route));
   exp.run_for(Duration::seconds(1.0));
 
   const int total =

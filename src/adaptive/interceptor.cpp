@@ -13,9 +13,9 @@ using messaging::Transport;
 
 DataInterceptor::~DataInterceptor() {
   for (auto& [peer, flow] : flows_) {
-    if (flow->episode_cancel) flow->episode_cancel();
-    if (flow->black_tcp.expire) flow->black_tcp.expire();
-    if (flow->black_udt.expire) flow->black_udt.expire();
+    flow->episode_cancel.cancel();
+    flow->black_tcp.expire.cancel();
+    flow->black_udt.expire.cancel();
   }
 }
 
@@ -27,7 +27,7 @@ void DataInterceptor::setup() {
   // Consumer-side requests.
   subscribe_ptr<Msg>(*up_, [this](MsgPtr m) { on_outgoing(std::move(m), {}); });
   subscribe_ptr<messaging::MessageNotifyReq>(
-      *up_, [this](std::shared_ptr<const messaging::MessageNotifyReq> req) {
+      *up_, [this](kompics::EventRef<messaging::MessageNotifyReq> req) {
         on_outgoing(req->msg, req->id);
       });
 
@@ -35,16 +35,16 @@ void DataInterceptor::setup() {
   // acknowledgement progress.
   subscribe_ptr<Msg>(*down_, [this](MsgPtr m) { trigger(std::move(m), *up_); });
   subscribe_ptr<messaging::MessageNotifyResp>(
-      *down_, [this](std::shared_ptr<const messaging::MessageNotifyResp> resp) {
+      *down_, [this](kompics::EventRef<messaging::MessageNotifyResp> resp) {
         trigger(std::move(resp), *up_);
       });
   subscribe_ptr<messaging::NetworkStatus>(
-      *down_, [this](std::shared_ptr<const messaging::NetworkStatus> status) {
+      *down_, [this](kompics::EventRef<messaging::NetworkStatus> status) {
         on_status(*status);
         trigger(std::move(status), *up_);
       });
   subscribe_ptr<messaging::ConnectionStatus>(
-      *down_, [this](std::shared_ptr<const messaging::ConnectionStatus> cs) {
+      *down_, [this](kompics::EventRef<messaging::ConnectionStatus> cs) {
         on_connection_status(*cs);
         trigger(std::move(cs), *up_);
       });
@@ -117,7 +117,7 @@ void DataInterceptor::apply_ratio(Flow& flow) {
 
 void DataInterceptor::blacklist_transport(Flow& flow, Transport t) {
   Flow::Blacklist& b = t == Transport::kUdt ? flow.black_udt : flow.black_tcp;
-  if (b.expire) b.expire();
+  b.expire.cancel();
   b.active = true;
   Flow* raw = &flow;
   b.expire = system().scheduler().schedule_delayed(
@@ -132,8 +132,7 @@ void DataInterceptor::blacklist_transport(Flow& flow, Transport t) {
 void DataInterceptor::clear_blacklist(Flow& flow, Transport t) {
   Flow::Blacklist& b = t == Transport::kUdt ? flow.black_udt : flow.black_tcp;
   if (!b.active) return;
-  if (b.expire) b.expire();
-  b.expire = nullptr;
+  b.expire.cancel();
   b.active = false;
   apply_ratio(flow);
   pump(flow);

@@ -96,12 +96,12 @@ class DataInterceptor final : public kompics::ComponentDefinition {
     std::uint64_t total_udt = 0;
     std::uint64_t episodes = 0;
     double last_throughput = 0.0;
-    kompics::CancelFn episode_cancel;
+    kompics::TimerHandle episode_cancel;
 
     // Transport fallback (driven by ConnectionStatus indications).
     struct Blacklist {
       bool active = false;
-      kompics::CancelFn expire;  // probation timer
+      kompics::TimerHandle expire;  // probation timer
     };
     Blacklist black_tcp;
     Blacklist black_udt;

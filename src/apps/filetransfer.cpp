@@ -39,7 +39,7 @@ void DataSource::setup() {
       retry_cancel_ = system().scheduler().schedule_delayed(
           config_.retry_backoff, [this] {
             retry_pending_ = false;
-            retry_cancel_ = nullptr;
+            retry_cancel_ = {};
             pump();
           });
     }
@@ -95,7 +95,7 @@ void DataSource::send_chunk_ref(const ChunkRef& ref) {
   DataHeader header = (config_.protocol == Transport::kData)
                           ? DataHeader{config_.self, config_.dst}
                           : DataHeader{config_.self, config_.dst, config_.protocol};
-  auto msg = std::make_shared<const DataChunkMsg>(
+  auto msg = kompics::make_event<DataChunkMsg>(
       header, config_.transfer_id, ref.offset,
       make_payload_slice(ref.offset, ref.len),
       ref.last);

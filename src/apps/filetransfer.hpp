@@ -45,9 +45,7 @@ class DataSource final : public kompics::ComponentDefinition {
   using CompleteFn = std::function<void(Duration, std::uint64_t)>;
 
   explicit DataSource(DataSourceConfig config) : config_(config) {}
-  ~DataSource() override {
-    if (retry_cancel_) retry_cancel_();
-  }
+  ~DataSource() override { retry_cancel_.cancel(); }
 
   void setup() override;
 
@@ -88,7 +86,7 @@ class DataSource final : public kompics::ComponentDefinition {
   std::map<messaging::NotifyId, ChunkRef> pending_notifies_;
   std::deque<ChunkRef> retry_queue_;
   bool retry_pending_ = false;
-  kompics::CancelFn retry_cancel_;
+  kompics::TimerHandle retry_cancel_;
   CompleteFn on_complete_;
 };
 

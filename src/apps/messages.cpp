@@ -56,7 +56,7 @@ void register_app_serializers(messaging::SerializerRegistry& registry) {
         // Zero-copy: the chunk's payload stays a view of the frame's slab.
         auto bytes = buf.read_blob_slice();
         DataHeader dh{h.source(), h.destination(), h.protocol()};
-        return std::make_shared<const DataChunkMsg>(dh, id, offset,
+        return kompics::make_event<DataChunkMsg>(dh, id, offset,
                                                     std::move(bytes), last);
       });
 
@@ -70,7 +70,7 @@ void register_app_serializers(messaging::SerializerRegistry& registry) {
       [](const BasicHeader& h, wire::ByteBuf& buf) -> MsgPtr {
         const std::uint64_t id = buf.read_varint();
         const std::uint64_t total = buf.read_varint();
-        return std::make_shared<const TransferCompleteMsg>(h, id, total);
+        return kompics::make_event<TransferCompleteMsg>(h, id, total);
       });
 
   registry.register_type(
@@ -83,7 +83,7 @@ void register_app_serializers(messaging::SerializerRegistry& registry) {
       [](const BasicHeader& h, wire::ByteBuf& buf) -> MsgPtr {
         const std::uint64_t seq = buf.read_varint();
         const std::int64_t at = buf.read_i64();
-        return std::make_shared<const PingMsg>(h, seq, at);
+        return kompics::make_event<PingMsg>(h, seq, at);
       });
 
   registry.register_type(
@@ -96,7 +96,7 @@ void register_app_serializers(messaging::SerializerRegistry& registry) {
       [](const BasicHeader& h, wire::ByteBuf& buf) -> MsgPtr {
         const std::uint64_t seq = buf.read_varint();
         const std::int64_t at = buf.read_i64();
-        return std::make_shared<const PongMsg>(h, seq, at);
+        return kompics::make_event<PongMsg>(h, seq, at);
       });
 }
 

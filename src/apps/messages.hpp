@@ -46,7 +46,7 @@ class DataChunkMsg final : public messaging::Msg, public messaging::DataMsg {
   }
 
   messaging::MsgPtr with_protocol(messaging::Transport t) const override {
-    return std::make_shared<const DataChunkMsg>(header_.with_protocol(t),
+    return kompics::make_event<DataChunkMsg>(header_.with_protocol(t),
                                                 transfer_id_, offset_, bytes_,
                                                 last_);
   }

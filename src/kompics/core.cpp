@@ -2,12 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <new>
 #include <stdexcept>
 
 #include "common/logging.hpp"
 #include "kompics/system.hpp"
 
 namespace kmsg::kompics {
+
+namespace {
+
+constexpr std::uint8_t kMailboxNodeClass = 0;  // 32-byte class
+
+}  // namespace
 
 // --- PortInstance ---
 
@@ -17,14 +24,30 @@ PortInstance::PortInstance(ComponentCore* owner, const PortType& type,
 
 void PortInstance::subscribe(std::unique_ptr<HandlerBase> handler) {
   handlers_.push_back(std::move(handler));
+  // A new handler may match event types already cached; rebuild lazily.
+  for (auto& line : dispatch_cache_) {
+    line.built = false;
+    line.entries.clear();
+  }
 }
 
-void PortInstance::publish(const EventPtr& ev) {
+void PortInstance::publish(EventPtr ev) {
+  // Single-channel fast path (the overwhelmingly common wiring): the
+  // reference is moved into the channel, so publish -> deliver -> mailbox
+  // performs zero refcount operations.
+  if (channels_.size() == 1) {
+    Channel* ch = channels_[0];
+    if (provided_) {
+      ch->forward_indication(std::move(ev));
+    } else {
+      ch->forward_request(std::move(ev));
+    }
+    return;
+  }
   // Broadcast to all connected channels. Index iteration (with the size
   // re-read each step) tolerates channels appended reentrantly from a
-  // handler without copying the vector per event — publish is the hottest
-  // call in the dispatch path. Reentrant *disconnects* are handled by
-  // forward_* checking the channel's detached state.
+  // selector without copying the vector per event. Reentrant *disconnects*
+  // are handled by forward_* checking the channel's detached state.
   for (std::size_t i = 0; i < channels_.size(); ++i) {
     Channel* ch = channels_[i];
     if (provided_) {
@@ -35,15 +58,50 @@ void PortInstance::publish(const EventPtr& ev) {
   }
 }
 
-void PortInstance::deliver(const EventPtr& ev) { owner_->enqueue(this, ev); }
+void PortInstance::deliver(EventPtr ev) { owner_->enqueue(this, std::move(ev)); }
 
 void PortInstance::dispatch(const EventPtr& ev) {
+  const std::uint16_t tid = ev->event_type();
+  if (tid == kEventTypeUnknown) {
+    // Event did not come from make_event — match the slow way every time.
+    dispatch_slow(ev);
+    return;
+  }
+  if (tid >= dispatch_cache_.size()) dispatch_cache_.resize(tid + 1);
+  DispatchLine& line = dispatch_cache_[tid];
+  if (!line.built) {
+    // One subtype walk (dynamic_cast per handler) for this event type;
+    // every later event with the same type id replays the cached offsets.
+    line.entries.clear();
+    for (auto& h : handlers_) {
+      std::ptrdiff_t offset = 0;
+      if (h->match(*ev, &offset)) line.entries.push_back({h.get(), offset});
+    }
+    line.built = true;
+  }
+  if (line.entries.empty()) {
+    // Unhandled events are silently dropped — with the broadcast channel
+    // model it is often completely correct to ignore events (paper §II-A).
+    ++dropped_;
+    return;
+  }
+  // Index iteration: a handler subscribing on this port mid-dispatch clears
+  // the line, which simply terminates the loop.
+  for (std::size_t k = 0; k < line.entries.size(); ++k) {
+    const DispatchEntry entry = line.entries[k];
+    entry.handler->invoke(ev, entry.offset);
+  }
+}
+
+void PortInstance::dispatch_slow(const EventPtr& ev) {
   bool handled = false;
   for (auto& h : handlers_) {
-    handled |= h->try_handle(ev);
+    std::ptrdiff_t offset = 0;
+    if (h->match(*ev, &offset)) {
+      h->invoke(ev, offset);
+      handled = true;
+    }
   }
-  // Unhandled events are silently dropped — with the broadcast channel model
-  // it is often completely correct to ignore events (paper §II-A).
   if (!handled) ++dropped_;
 }
 
@@ -62,16 +120,16 @@ Channel::Channel(PortInstance* provided_side, PortInstance* required_side)
 
 Channel::~Channel() { disconnect(); }
 
-void Channel::forward_indication(const EventPtr& ev) {
+void Channel::forward_indication(EventPtr ev) {
   if (required_side_ == nullptr) return;
   if (ind_sel_ && !ind_sel_(*ev)) return;
-  required_side_->deliver(ev);
+  required_side_->deliver(std::move(ev));
 }
 
-void Channel::forward_request(const EventPtr& ev) {
+void Channel::forward_request(EventPtr ev) {
   if (provided_side_ == nullptr) return;
   if (req_sel_ && !req_sel_(*ev)) return;
-  provided_side_->deliver(ev);
+  provided_side_->deliver(std::move(ev));
 }
 
 void Channel::disconnect() {
@@ -102,7 +160,7 @@ void ComponentDefinition::trigger(EventPtr ev, PortInstance& port) {
                              port.type().name());
     }
   }
-  port.publish(ev);
+  port.publish(std::move(ev));
 }
 
 KompicsSystem& ComponentDefinition::system() { return core_->system(); }
@@ -118,7 +176,14 @@ ComponentCore::ComponentCore(KompicsSystem& system, std::string name)
   control_ = &port(port_type<ControlPort>(), true);
 }
 
-ComponentCore::~ComponentCore() = default;
+ComponentCore::~ComponentCore() {
+  // Release events still sitting in the mailbox (normal shutdown leaves the
+  // queue drained; chaos/teardown paths may not).
+  for (MailboxNode* n = mailbox_pop(); n != nullptr; n = mailbox_pop()) {
+    n->~MailboxNode();
+    EventArena::release(n, kMailboxNodeClass);
+  }
+}
 
 void ComponentCore::adopt(std::unique_ptr<ComponentDefinition> def) {
   assert(!definition_);
@@ -137,59 +202,126 @@ PortInstance& ComponentCore::port(const PortType& type, bool provided) {
   return *p;
 }
 
-void ComponentCore::enqueue(PortInstance* at, EventPtr ev) {
-  bool need_schedule = false;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.emplace_back(at, std::move(ev));
-    if (!scheduled_) {
-      scheduled_ = true;
-      need_schedule = true;
-    }
+void ComponentCore::mailbox_push(MailboxNode* n) {
+  n->next.store(nullptr, std::memory_order_relaxed);
+  if (!detail::mt_active()) {
+    // Simulation mode: everything runs on one thread, so the push is plain
+    // pointer swizzling (no lock-prefixed RMW on the hot path).
+    MailboxNode* prev = mailbox_head_.load(std::memory_order_relaxed);
+    mailbox_head_.store(n, std::memory_order_relaxed);
+    prev->next.store(n, std::memory_order_relaxed);
+    return;
   }
-  if (need_schedule) system_.scheduler().schedule(this);
+  // seq_cst so the wakeup protocol can reason about this push relative to
+  // the scheduled_ flag (see enqueue/execute).
+  MailboxNode* prev = mailbox_head_.exchange(n, std::memory_order_seq_cst);
+  // Between the exchange and this store the queue is momentarily split;
+  // mailbox_pop detects that window (tail == head, next == nullptr) and
+  // reports empty, which the scheduled_ protocol turns into a re-schedule.
+  prev->next.store(n, std::memory_order_release);
 }
 
-std::size_t ComponentCore::queued_events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+ComponentCore::MailboxNode* ComponentCore::mailbox_pop() {
+  MailboxNode* tail = mailbox_tail_;
+  MailboxNode* next = tail->next.load(std::memory_order_acquire);
+  if (tail == &stub_) {
+    if (next == nullptr) return nullptr;
+    mailbox_tail_ = next;
+    tail = next;
+    next = next->next.load(std::memory_order_acquire);
+  }
+  if (next != nullptr) {
+    mailbox_tail_ = next;
+    return tail;
+  }
+  if (tail != mailbox_head_.load(std::memory_order_acquire)) {
+    return nullptr;  // producer mid-push; caller re-checks mailbox_nonempty
+  }
+  // Single element left: cycle the stub back in so `tail` can be detached.
+  mailbox_push(&stub_);
+  next = tail->next.load(std::memory_order_acquire);
+  if (next != nullptr) {
+    mailbox_tail_ = next;
+    return tail;
+  }
+  return nullptr;
+}
+
+// Consumer-side emptiness peek. tail_ always points at the stub or at a
+// still-pending node, so the queue is empty exactly when the tail is the
+// stub with no successor and no producer has exchanged the head away. The
+// seq_cst loads order this check after execute()'s scheduled_ store, which
+// closes the lost-wakeup window (see the protocol note in enqueue).
+bool ComponentCore::mailbox_nonempty() {
+  MailboxNode* tail = mailbox_tail_;
+  if (tail != &stub_) return true;
+  if (tail->next.load(std::memory_order_seq_cst) != nullptr) return true;
+  return mailbox_head_.load(std::memory_order_seq_cst) != tail;
+}
+
+void ComponentCore::enqueue(PortInstance* at, EventPtr ev) {
+  static_assert(sizeof(MailboxNode) <=
+                EventArena::kClassBytes[kMailboxNodeClass]);
+  void* block = EventArena::acquire(sizeof(MailboxNode), kMailboxNodeClass);
+  auto* node = ::new (block) MailboxNode;
+  node->at = at;
+  node->ev = std::move(ev);
+  mailbox_push(node);
+  // Wakeup protocol: if scheduled_ is already set, the execute() run that
+  // owns it either pops our node or — after clearing the flag — re-checks
+  // mailbox_nonempty() with seq_cst loads ordered after our (seq_cst) push,
+  // so the event cannot be stranded. The plain load first keeps the steady
+  // state (already scheduled) free of lock-prefixed RMWs.
+  if (!scheduled_.load(std::memory_order_seq_cst) &&
+      !scheduled_.exchange(true, std::memory_order_seq_cst)) {
+    system_.scheduler().schedule(this);
+  }
 }
 
 void ComponentCore::execute() {
   const std::size_t max_events = system_.max_events_per_scheduling();
-  for (std::size_t i = 0; i < max_events; ++i) {
-    std::pair<PortInstance*, EventPtr> item;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (queue_.empty()) break;
-      item = std::move(queue_.front());
-      queue_.pop_front();
-    }
+  std::size_t processed = 0;
+  while (processed < max_events) {
+    MailboxNode* node = mailbox_pop();
+    if (node == nullptr) break;
+    ++processed;
     ++events_handled_;
-    item.first->dispatch(item.second);
+    PortInstance* at = node->at;
+    EventPtr ev = std::move(node->ev);
+    node->~MailboxNode();
+    EventArena::release(node, kMailboxNodeClass);
+    at->dispatch(ev);
     // Lifecycle cascade: Start/Stop/Kill on the control port propagate down
     // the component hierarchy after the local handlers ran.
-    if (item.first == control_ && !children_.empty()) {
-      const auto& ev = *item.second;
-      if (dynamic_cast<const Start*>(&ev) != nullptr ||
-          dynamic_cast<const Stop*>(&ev) != nullptr ||
-          dynamic_cast<const Kill*>(&ev) != nullptr) {
+    if (at == control_ && !children_.empty()) {
+      const std::uint16_t tid = ev->event_type();
+      const bool lifecycle =
+          tid != kEventTypeUnknown
+              ? (tid == event_type_id<Start>() || tid == event_type_id<Stop>() ||
+                 tid == event_type_id<Kill>())
+              : (dynamic_cast<const Start*>(ev.get()) != nullptr ||
+                 dynamic_cast<const Stop*>(ev.get()) != nullptr ||
+                 dynamic_cast<const Kill*>(ev.get()) != nullptr);
+      if (lifecycle) {
         for (ComponentCore* child : children_) {
-          child->enqueue(&child->control_port(), item.second);
+          child->enqueue(&child->control_port(), ev);
         }
       }
     }
   }
-  bool reschedule = false;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (queue_.empty()) {
-      scheduled_ = false;
-    } else {
-      reschedule = true;  // back of the scheduler's FIFO: fairness
-    }
+  if (processed == max_events && mailbox_nonempty()) {
+    // Budget exhausted with work left: stay marked scheduled and go to the
+    // back of the scheduler's FIFO (fairness).
+    system_.scheduler().schedule(this);
+    return;
   }
-  if (reschedule) system_.scheduler().schedule(this);
+  scheduled_.store(false, std::memory_order_seq_cst);
+  // Re-check: a producer may have pushed between the final failed pop and
+  // the store above (or mid-push made pop report empty transiently).
+  if (mailbox_nonempty() &&
+      !scheduled_.exchange(true, std::memory_order_seq_cst)) {
+    system_.scheduler().schedule(this);
+  }
 }
 
 }  // namespace kmsg::kompics

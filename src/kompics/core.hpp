@@ -13,20 +13,28 @@
 //  - indications flow provided -> required, requests flow required ->
 //    provided, validated at trigger time against the port type.
 //
+// Hot-path machinery (see DESIGN.md §4d):
+//  - dispatch is devirtualized: each port keeps a cache line per event type
+//    id holding the matching handlers and their precomputed pointer
+//    adjustments, so steady-state dispatch is an indexed load plus direct
+//    calls — the dynamic_cast subtype walk runs once per (port, event type);
+//  - each component's mailbox is an intrusive MPSC stack of arena nodes
+//    (Vyukov queue): enqueue is two atomic stores, no lock, no deque churn.
+//
 // Deviation from the Java API: `requires` is a C++20 keyword, so the
 // required-port declaration is spelled `require<P>()`.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/time.hpp"
 #include "kompics/event.hpp"
 #include "kompics/port_type.hpp"
@@ -43,45 +51,65 @@ class PortInstance;
 class HandlerBase {
  public:
   virtual ~HandlerBase() = default;
-  /// Invokes the handler if the event's dynamic type matches. Returns
-  /// whether it matched.
-  virtual bool try_handle(const EventPtr& ev) = 0;
+
+  /// Slow path (runs once per (port, event type id)): if the event's dynamic
+  /// type matches this handler's target type, stores the pointer adjustment
+  /// from the event's KompicsEvent base to the target subobject in *offset
+  /// and returns true. The offset is a property of the event's most-derived
+  /// type, so it can be cached and replayed for every future event with the
+  /// same type id.
+  virtual bool match(const KompicsEvent& ev, std::ptrdiff_t* offset) const = 0;
+
+  /// Fast path: invokes the handler using a previously matched offset.
+  virtual void invoke(const EventPtr& ev, std::ptrdiff_t offset) = 0;
 };
 
 template <typename E>
 class TypedHandler final : public HandlerBase {
  public:
   explicit TypedHandler(std::function<void(const E&)> fn) : fn_(std::move(fn)) {}
-  bool try_handle(const EventPtr& ev) override {
-    if (const auto* e = dynamic_cast<const E*>(ev.get())) {
-      fn_(*e);
-      return true;
-    }
-    return false;
+
+  bool match(const KompicsEvent& ev, std::ptrdiff_t* offset) const override {
+    const auto* e = dynamic_cast<const E*>(&ev);
+    if (e == nullptr) return false;
+    *offset = reinterpret_cast<const char*>(e) -
+              reinterpret_cast<const char*>(&ev);
+    return true;
+  }
+
+  void invoke(const EventPtr& ev, std::ptrdiff_t offset) override {
+    fn_(*reinterpret_cast<const E*>(
+        reinterpret_cast<const char*>(ev.get()) + offset));
   }
 
  private:
   std::function<void(const E&)> fn_;
 };
 
-/// Handler variant that receives the shared event pointer, for components
+/// Handler variant that receives the shared event handle, for components
 /// that store or forward events without copying (e.g. the network layer
 /// queueing messages).
 template <typename E>
 class PtrHandler final : public HandlerBase {
  public:
-  explicit PtrHandler(std::function<void(std::shared_ptr<const E>)> fn)
+  explicit PtrHandler(std::function<void(EventRef<E>)> fn)
       : fn_(std::move(fn)) {}
-  bool try_handle(const EventPtr& ev) override {
-    if (auto e = std::dynamic_pointer_cast<const E>(ev)) {
-      fn_(std::move(e));
-      return true;
-    }
-    return false;
+
+  bool match(const KompicsEvent& ev, std::ptrdiff_t* offset) const override {
+    const auto* e = dynamic_cast<const E*>(&ev);
+    if (e == nullptr) return false;
+    *offset = reinterpret_cast<const char*>(e) -
+              reinterpret_cast<const char*>(&ev);
+    return true;
+  }
+
+  void invoke(const EventPtr& ev, std::ptrdiff_t offset) override {
+    fn_(EventRef<E>::add_ref(reinterpret_cast<const E*>(
+        reinterpret_cast<const char*>(ev.get()) + offset)));
   }
 
  private:
-  std::function<void(std::shared_ptr<const E>)> fn_;
+  std::function<void(EventRef<E>)> fn_;
 };
 
 // --- Ports ---
@@ -98,11 +126,13 @@ class PortInstance {
 
   void subscribe(std::unique_ptr<HandlerBase> handler);
 
-  /// Broadcasts an outgoing event onto all connected channels.
-  void publish(const EventPtr& ev);
+  /// Broadcasts an outgoing event onto all connected channels. By value:
+  /// with a single connected channel (the common case) the reference is
+  /// moved all the way into the receiver's mailbox without refcount traffic.
+  void publish(EventPtr ev);
 
   /// Receives an event from a channel: queues it at the owning component.
-  void deliver(const EventPtr& ev);
+  void deliver(EventPtr ev);
 
   /// Runs all matching subscribed handlers (owner's scheduler context).
   void dispatch(const EventPtr& ev);
@@ -115,11 +145,26 @@ class PortInstance {
   void attach(Channel* ch) { channels_.push_back(ch); }
   void detach(Channel* ch);
 
+  /// One dispatch-cache line: the handlers matching one event type id, with
+  /// their base-to-target pointer adjustments. Built lazily on the first
+  /// event of that type, torn down whenever a handler is subscribed.
+  struct DispatchEntry {
+    HandlerBase* handler;
+    std::ptrdiff_t offset;
+  };
+  struct DispatchLine {
+    bool built = false;
+    std::vector<DispatchEntry> entries;
+  };
+
+  void dispatch_slow(const EventPtr& ev);
+
   ComponentCore* owner_;
   const PortType& type_;
   bool provided_;
   std::vector<Channel*> channels_;
   std::vector<std::unique_ptr<HandlerBase>> handlers_;
+  std::vector<DispatchLine> dispatch_cache_;  // indexed by event type id
   std::uint64_t dropped_ = 0;  // delivered but matched no handler
 };
 
@@ -139,9 +184,9 @@ class Channel {
   void set_request_selector(ChannelSelector sel) { req_sel_ = std::move(sel); }
 
   /// provided -> required direction.
-  void forward_indication(const EventPtr& ev);
+  void forward_indication(EventPtr ev);
   /// required -> provided direction.
-  void forward_request(const EventPtr& ev);
+  void forward_request(EventPtr ev);
 
   /// Detaches from both ports; the channel becomes inert.
   void disconnect();
@@ -201,11 +246,10 @@ class ComponentDefinition {
     port.subscribe(std::make_unique<TypedHandler<E>>(std::move(fn)));
   }
 
-  /// Subscribes a handler receiving the shared event pointer (zero-copy
+  /// Subscribes a handler receiving the shared event handle (zero-copy
   /// retention of immutable events).
   template <typename E>
-  void subscribe_ptr(PortInstance& port,
-                     std::function<void(std::shared_ptr<const E>)> fn) {
+  void subscribe_ptr(PortInstance& port, std::function<void(EventRef<E>)> fn) {
     port.subscribe(std::make_unique<PtrHandler<E>>(std::move(fn)));
   }
 
@@ -238,7 +282,8 @@ class ComponentCore {
   PortInstance& port(const PortType& type, bool provided);
   PortInstance& control_port() { return *control_; }
 
-  /// Queues an event arriving at `at` and schedules execution.
+  /// Queues an event arriving at `at` and schedules execution. Lock-free
+  /// (multi-producer): safe from any thread and from timer callbacks.
   void enqueue(PortInstance* at, EventPtr ev);
 
   /// Registers a child core for lifecycle cascading.
@@ -255,9 +300,19 @@ class ComponentCore {
   void execute();
 
   std::uint64_t events_handled() const { return events_handled_; }
-  std::size_t queued_events() const;
 
  private:
+  /// Intrusive mailbox node, carved from the EventArena (32-byte class).
+  struct MailboxNode {
+    std::atomic<MailboxNode*> next{nullptr};
+    PortInstance* at = nullptr;
+    EventPtr ev;
+  };
+
+  void mailbox_push(MailboxNode* n);
+  MailboxNode* mailbox_pop();
+  bool mailbox_nonempty();
+
   KompicsSystem& system_;
   std::string name_;
   std::unique_ptr<ComponentDefinition> definition_;
@@ -265,9 +320,13 @@ class ComponentCore {
   std::map<std::pair<const PortType*, bool>, PortInstance*> port_index_;
   PortInstance* control_ = nullptr;
 
-  mutable std::mutex mutex_;
-  std::deque<std::pair<PortInstance*, EventPtr>> queue_;
-  bool scheduled_ = false;
+  // Vyukov intrusive MPSC queue: producers exchange on head_, the (single)
+  // consumer walks tail_. stub_ never carries a payload.
+  MailboxNode stub_;
+  std::atomic<MailboxNode*> mailbox_head_{&stub_};
+  MailboxNode* mailbox_tail_ = &stub_;
+  std::atomic<bool> scheduled_{false};
+
   std::uint64_t events_handled_ = 0;
   std::vector<ComponentCore*> children_;
   bool has_parent_ = false;

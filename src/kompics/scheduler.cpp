@@ -1,6 +1,7 @@
 #include "kompics/scheduler.hpp"
 
 #include <atomic>
+#include <chrono>
 
 #include "kompics/core.hpp"
 
@@ -15,15 +16,22 @@ void SimulationScheduler::schedule(ComponentCore* core) {
   sim_.schedule_after(Duration::zero(), [core] { core->execute(); });
 }
 
-CancelFn SimulationScheduler::schedule_delayed(Duration delay,
-                                               std::function<void()> fn) {
+TimerHandle SimulationScheduler::schedule_delayed(Duration delay,
+                                                  std::function<void()> fn) {
   auto handle = sim_.schedule_after(delay, std::move(fn));
-  return [handle]() mutable { handle.cancel(); };
+  return TimerHandle{this, handle.slot(), handle.gen()};
+}
+
+void SimulationScheduler::cancel_timer(std::uint32_t slot, std::uint32_t gen) {
+  sim_.cancel(slot, gen);
 }
 
 // --- ThreadPoolScheduler ---
 
 ThreadPoolScheduler::ThreadPoolScheduler(std::size_t workers) {
+  // Switch events + mailboxes to their thread-safe (lock-prefixed) paths
+  // for as long as any thread pool is alive; see detail::mt_active().
+  detail::g_mt_schedulers.fetch_add(1, std::memory_order_seq_cst);
   if (workers == 0) workers = 1;
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this](std::stop_token st) { worker_loop(st); });
@@ -47,6 +55,9 @@ void ThreadPoolScheduler::shutdown() {
     if (w.joinable()) w.join();
   }
   if (timer_thread_.joinable()) timer_thread_.join();
+  // All workers joined: only now is it safe to fall back to the plain
+  // single-threaded refcount/mailbox paths.
+  detail::g_mt_schedulers.fetch_sub(1, std::memory_order_seq_cst);
 }
 
 void ThreadPoolScheduler::schedule(ComponentCore* core) {
@@ -73,37 +84,60 @@ void ThreadPoolScheduler::worker_loop(std::stop_token st) {
   }
 }
 
-CancelFn ThreadPoolScheduler::schedule_delayed(Duration delay,
-                                               std::function<void()> fn) {
-  auto cancelled = std::make_shared<std::atomic<bool>>(false);
-  const auto at = std::chrono::steady_clock::now() +
-                  std::chrono::nanoseconds(delay.as_nanos());
+TimerHandle ThreadPoolScheduler::schedule_delayed(Duration delay,
+                                                  std::function<void()> fn) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  const std::int64_t at = (clock_.now() + delay).as_nanos();
+  std::uint32_t slot;
+  std::uint32_t gen;
   {
     std::lock_guard<std::mutex> lock(timer_mutex_);
-    timers_.emplace(at, TimerEntry{cancelled, std::move(fn)});
+    slot = timer_slots_.acquire();
+    gen = timer_slots_.slots[slot].gen;
+    timers_.schedule(at, timer_seq_++, slot, gen, SmallFn(std::move(fn)));
   }
   timer_cv_.notify_all();
-  return [cancelled] { cancelled->store(true); };
+  return TimerHandle{this, slot, gen};
+}
+
+void ThreadPoolScheduler::cancel_timer(std::uint32_t slot, std::uint32_t gen) {
+  std::lock_guard<std::mutex> lock(timer_mutex_);
+  auto& s = timer_slots_.slots[slot];
+  if (s.gen == gen) s.state = sim::detail::SlotTable::kCancelled;
 }
 
 void ThreadPoolScheduler::timer_loop(std::stop_token st) {
+  using SteadyTp = std::chrono::steady_clock::time_point;
   std::unique_lock<std::mutex> lock(timer_mutex_);
   while (!st.stop_requested()) {
-    if (timers_.empty()) {
-      timer_cv_.wait(lock, st, [this] { return !timers_.empty(); });
+    const std::int64_t next = timers_.next_at();
+    if (next == TimingWheel<SmallFn>::kNoEvent) {
+      timer_cv_.wait(lock, st, [this] {
+        return timers_.next_at() != TimingWheel<SmallFn>::kNoEvent;
+      });
       if (st.stop_requested()) return;
       continue;
     }
-    const auto next = timers_.begin()->first;
-    if (std::chrono::steady_clock::now() < next) {
-      timer_cv_.wait_until(lock, st, next, [] { return false; });
+    if (clock_.now().as_nanos() < next) {
+      // clock_ is steady_clock nanoseconds since its epoch, so `next` maps
+      // straight back onto a steady_clock time_point for the timed wait.
+      const SteadyTp deadline{std::chrono::nanoseconds(next)};
+      timer_cv_.wait_until(lock, st, deadline, [] { return false; });
       if (st.stop_requested()) return;
       continue;
     }
-    auto entry = std::move(timers_.begin()->second);
-    timers_.erase(timers_.begin());
+    TimingWheel<SmallFn>::Node* node = timers_.pop();
+    if (node == nullptr) continue;
+    if (timer_slots_.is_cancelled(node->slot, node->gen)) {
+      timer_slots_.release(node->slot);
+      timers_.recycle(node);
+      continue;
+    }
+    SmallFn fn = std::move(node->payload);
+    timer_slots_.release(node->slot);
+    timers_.recycle(node);
     lock.unlock();
-    if (!entry.cancelled->load()) entry.fn();
+    fn();
     lock.lock();
   }
 }

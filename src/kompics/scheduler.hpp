@@ -9,26 +9,62 @@
 //
 // A component is enqueued at most once (ComponentCore::scheduled_ flag) and
 // is executed by one thread at a time, which is Kompics' concurrency model.
+//
+// Delayed callbacks return a value-type TimerHandle (slot/generation pair,
+// mirroring sim::EventHandle) instead of a heap-allocating std::function —
+// arming a timer performs no allocation beyond the scheduler's pooled wheel
+// node. Both schedulers store their timers in a hierarchical timing wheel
+// (common/timing_wheel.hpp): O(1) arm and cancel.
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/small_fn.hpp"
 #include "common/time.hpp"
+#include "common/timing_wheel.hpp"
 #include "sim/simulator.hpp"
 
 namespace kmsg::kompics {
 
 class ComponentCore;
+class Scheduler;
 
-/// Cancels a delayed callback; calling after the callback ran is a no-op.
-using CancelFn = std::function<void()>;
+/// Handle to a delayed callback; allows cancellation. A default-constructed
+/// handle is inert. Cancelling after the callback ran (or twice) is a no-op —
+/// the generation counter disambiguates recycled slots. The handle must not
+/// outlive the scheduler it came from (components always satisfy this:
+/// KompicsSystem destroys components before the scheduler).
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  /// Cancels the callback if it has not fired yet. Idempotent.
+  void cancel();
+
+  /// True if this handle was ever armed (it may have fired already).
+  bool valid() const { return scheduler_ != nullptr; }
+  explicit operator bool() const { return scheduler_ != nullptr; }
+
+  std::uint32_t slot() const { return slot_; }
+  std::uint32_t gen() const { return gen_; }
+
+ private:
+  friend class SimulationScheduler;
+  friend class ThreadPoolScheduler;
+  TimerHandle(Scheduler* scheduler, std::uint32_t slot, std::uint32_t gen)
+      : scheduler_(scheduler), slot_(slot), gen_(gen) {}
+
+  Scheduler* scheduler_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
+};
 
 class Scheduler {
  public:
@@ -36,17 +72,29 @@ class Scheduler {
   /// Enqueues a component for execution.
   virtual void schedule(ComponentCore* core) = 0;
   /// Schedules `fn` to run after `delay` (timer facility backing).
-  virtual CancelFn schedule_delayed(Duration delay, std::function<void()> fn) = 0;
+  virtual TimerHandle schedule_delayed(Duration delay,
+                                       std::function<void()> fn) = 0;
+  /// Cancels a delayed callback by its slot/generation pair (the backing of
+  /// TimerHandle::cancel). No-op when it already fired or was cancelled.
+  virtual void cancel_timer(std::uint32_t slot, std::uint32_t gen) = 0;
   virtual const Clock& clock() const = 0;
   /// Stops worker threads (no-op for the simulation scheduler).
   virtual void shutdown() {}
 };
 
+inline void TimerHandle::cancel() {
+  if (scheduler_ == nullptr) return;
+  scheduler_->cancel_timer(slot_, gen_);
+  scheduler_ = nullptr;
+}
+
 class SimulationScheduler final : public Scheduler {
  public:
   explicit SimulationScheduler(sim::Simulator& sim) : sim_(sim) {}
   void schedule(ComponentCore* core) override;
-  CancelFn schedule_delayed(Duration delay, std::function<void()> fn) override;
+  TimerHandle schedule_delayed(Duration delay,
+                               std::function<void()> fn) override;
+  void cancel_timer(std::uint32_t slot, std::uint32_t gen) override;
   const Clock& clock() const override { return sim_; }
   sim::Simulator& simulator() { return sim_; }
 
@@ -60,7 +108,9 @@ class ThreadPoolScheduler final : public Scheduler {
   ~ThreadPoolScheduler() override;
 
   void schedule(ComponentCore* core) override;
-  CancelFn schedule_delayed(Duration delay, std::function<void()> fn) override;
+  TimerHandle schedule_delayed(Duration delay,
+                               std::function<void()> fn) override;
+  void cancel_timer(std::uint32_t slot, std::uint32_t gen) override;
   const Clock& clock() const override { return clock_; }
   void shutdown() override;
 
@@ -75,13 +125,14 @@ class ThreadPoolScheduler final : public Scheduler {
   std::deque<ComponentCore*> work_;
   bool stopping_ = false;
 
-  struct TimerEntry {
-    std::shared_ptr<std::atomic<bool>> cancelled;
-    std::function<void()> fn;
-  };
+  // Timers: a timing wheel of SmallFn closures keyed by steady-clock
+  // nanoseconds, with lazy cancellation through a slot/generation table
+  // (same scheme as the simulator). All guarded by timer_mutex_.
   std::mutex timer_mutex_;
   std::condition_variable_any timer_cv_;
-  std::multimap<std::chrono::steady_clock::time_point, TimerEntry> timers_;
+  TimingWheel<SmallFn> timers_;
+  sim::detail::SlotTable timer_slots_;
+  std::uint64_t timer_seq_ = 0;
 
   std::vector<std::jthread> workers_;
   std::jthread timer_thread_;

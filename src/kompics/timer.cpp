@@ -31,45 +31,45 @@ void TimerComponent::fire(TimeoutId id, bool periodic, Duration period) {
   }
   trigger(make_event<Timeout>(id, clock().now()), *timer_port_);
   if (periodic) {
-    CancelFn cancel = system().scheduler().schedule_delayed(
+    TimerHandle handle = system().scheduler().schedule_delayed(
         period, [this, id, period] { fire(id, true, period); });
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = pending_.find(id);
     if (it != pending_.end()) {
-      it->second = std::move(cancel);
+      it->second = handle;
     } else {
-      cancel();  // cancelled between trigger and rearm
+      handle.cancel();  // cancelled between trigger and rearm
     }
   }
 }
 
 void TimerComponent::handle_schedule(const ScheduleTimeout& st) {
   const TimeoutId id = st.id;
-  CancelFn cancel = system().scheduler().schedule_delayed(
+  TimerHandle handle = system().scheduler().schedule_delayed(
       st.delay, [this, id] { fire(id, false, Duration::zero()); });
   std::lock_guard<std::mutex> lock(mutex_);
-  pending_[id] = std::move(cancel);
+  pending_[id] = handle;
 }
 
 void TimerComponent::handle_periodic(const SchedulePeriodic& sp) {
   const TimeoutId id = sp.id;
   const Duration period = sp.period;
-  CancelFn cancel = system().scheduler().schedule_delayed(
+  TimerHandle handle = system().scheduler().schedule_delayed(
       sp.initial, [this, id, period] { fire(id, true, period); });
   std::lock_guard<std::mutex> lock(mutex_);
-  pending_[id] = std::move(cancel);
+  pending_[id] = handle;
 }
 
 void TimerComponent::handle_cancel(const CancelTimeout& ct) {
-  CancelFn cancel;
+  TimerHandle handle;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = pending_.find(ct.id);
     if (it == pending_.end()) return;
-    cancel = std::move(it->second);
+    handle = it->second;
     pending_.erase(it);
   }
-  if (cancel) cancel();
+  handle.cancel();
 }
 
 }  // namespace kmsg::kompics

@@ -74,7 +74,7 @@ class TimerComponent final : public ComponentDefinition {
 
   PortInstance* timer_port_ = nullptr;
   mutable std::mutex mutex_;
-  std::map<TimeoutId, CancelFn> pending_;
+  std::map<TimeoutId, TimerHandle> pending_;
 };
 
 }  // namespace kmsg::kompics

@@ -40,7 +40,7 @@ class Msg : public kompics::KompicsEvent {
   virtual std::size_t serialized_size_hint() const { return 64; }
 };
 
-using MsgPtr = std::shared_ptr<const Msg>;
+using MsgPtr = kompics::EventRef<Msg>;
 
 /// Plain point-to-point header.
 class BasicHeader final : public Header {

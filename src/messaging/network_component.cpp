@@ -22,13 +22,13 @@ NetworkComponent::NetworkComponent(netsim::Host& host, NetworkConfig config,
 }
 
 NetworkComponent::~NetworkComponent() {
-  if (status_cancel_) status_cancel_();
-  if (supervision_cancel_) supervision_cancel_();
+  status_cancel_.cancel();
+  supervision_cancel_.cancel();
   for (auto& [key, s] : sessions_) {
-    if (s->reconnect_timer) s->reconnect_timer();
+    s->reconnect_timer.cancel();
   }
   for (auto& [addr, ps] : peers_) {
-    if (ps->probe_timer) ps->probe_timer();
+    ps->probe_timer.cancel();
   }
 }
 
@@ -383,7 +383,7 @@ void NetworkComponent::on_session_closed(const Address& peer, Transport t) {
         delay, [this, peer, t] {
           auto sit = sessions_.find({peer, t});
           if (sit == sessions_.end()) return;
-          sit->second->reconnect_timer = nullptr;
+          sit->second->reconnect_timer = {};
           open_session(*sit->second);
         });
     return;
@@ -408,7 +408,7 @@ void NetworkComponent::on_session_closed(const Address& peer, Transport t) {
     }
     emit_channel_status(peer, t, s.channel_health, PeerHealth::kDead,
                         HealthReason::kReconnectExhausted, score);
-    if (s.reconnect_timer) s.reconnect_timer();
+    s.reconnect_timer.cancel();
     sessions_.erase(it);
     // If no other channel to the peer is alive, the peer itself is Dead —
     // declare it so remaining (still-connecting) sessions are torn down and
@@ -432,7 +432,7 @@ void NetworkComponent::on_session_closed(const Address& peer, Transport t) {
       notify_result(*f.notify, DeliveryStatus::kFailed, t, f.payload_bytes);
     }
   }
-  if (s.reconnect_timer) s.reconnect_timer();
+  s.reconnect_timer.cancel();
   sessions_.erase(it);
 }
 
@@ -650,10 +650,7 @@ void NetworkComponent::record_alive(const Address& peer, HealthReason reason,
       set_peer_health(peer, ps, PeerHealth::kHealthy, reason);
       break;
     case PeerHealth::kDead: {
-      if (ps.probe_timer) {
-        ps.probe_timer();
-        ps.probe_timer = nullptr;
-      }
+      ps.probe_timer.cancel();
       set_peer_health(peer, ps, PeerHealth::kRecovering, reason);
       flush_dead_letters(peer, ps);
       // Recovering normally completes on the next evidence (heartbeats over
@@ -718,7 +715,7 @@ void NetworkComponent::declare_dead(const Address& peer, HealthReason reason,
         park_dead_letter(ps, std::move(f.bytes), s.transport, f.payload_bytes);
       }
     }
-    if (s.reconnect_timer) s.reconnect_timer();
+    s.reconnect_timer.cancel();
     if (s.channel_health != PeerHealth::kDead) {
       emit_channel_status(peer, s.transport, s.channel_health,
                           PeerHealth::kDead, reason, score);
@@ -739,7 +736,7 @@ void NetworkComponent::probe_dead_peer(const Address& peer) {
   auto it = peers_.find(peer);
   if (it == peers_.end() || it->second->health != PeerHealth::kDead) return;
   PeerState& ps = *it->second;
-  ps.probe_timer = nullptr;
+  ps.probe_timer = {};
 
   // TCP probe: the cheapest channel to establish, and success is evidence
   // enough for the whole peer (Recovering re-opens per-transport sessions on

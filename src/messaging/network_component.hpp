@@ -173,7 +173,7 @@ class NetworkComponent final : public kompics::ComponentDefinition {
     bool connected = false;
     TimePoint last_activity = TimePoint::zero();
     int reconnect_attempts = 0;        // consecutive failures since last connect
-    kompics::CancelFn reconnect_timer; // pending re-establishment, if any
+    kompics::TimerHandle reconnect_timer; // pending re-establishment, if any
     // Supervision bookkeeping.
     PeerHealth channel_health = PeerHealth::kHealthy;  // last reported state
     std::uint64_t acked_snapshot = 0;  // bytes_acked at the last tick
@@ -201,7 +201,7 @@ class NetworkComponent final : public kompics::ComponentDefinition {
     PeerHealth health = PeerHealth::kHealthy;
     PhiAccrualDetector phi;
     std::uint64_t hb_seq = 0;  // next heartbeat sequence number
-    kompics::CancelFn probe_timer;  // armed while Dead
+    kompics::TimerHandle probe_timer;  // armed while Dead
     std::shared_ptr<transport::StreamConnection> probe_conn;
     std::deque<DeadLetter> dead_letters;
     std::size_t dead_letter_bytes = 0;
@@ -269,8 +269,8 @@ class NetworkComponent final : public kompics::ComponentDefinition {
   std::vector<std::unique_ptr<Inbound>> inbound_;
   std::map<Address, std::unique_ptr<PeerState>> peers_;
 
-  kompics::CancelFn status_cancel_;
-  kompics::CancelFn supervision_cancel_;
+  kompics::TimerHandle status_cancel_;
+  kompics::TimerHandle supervision_cancel_;
   bool started_ = false;
   NetworkComponentStats stats_;
 };

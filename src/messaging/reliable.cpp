@@ -18,7 +18,7 @@ void register_reliable_serializers(SerializerRegistry& registry) {
         const std::uint64_t seq = buf.read_varint();
         // Zero-copy: the payload stays a view of the inbound frame's slab.
         auto payload = buf.read_blob_slice();
-        return std::make_shared<const ReliableEnvelope>(h, seq, std::move(payload));
+        return kompics::make_event<ReliableEnvelope>(h, seq, std::move(payload));
       });
   registry.register_type(
       kReliableAckTypeId,
@@ -27,14 +27,14 @@ void register_reliable_serializers(SerializerRegistry& registry) {
         buf.write_varint(a.cumulative_seq());
       },
       [](const BasicHeader& h, wire::ByteBuf& buf) -> MsgPtr {
-        return std::make_shared<const ReliableAck>(h, buf.read_varint());
+        return kompics::make_event<ReliableAck>(h, buf.read_varint());
       });
 }
 
 ReliableChannel::~ReliableChannel() {
   for (auto& [peer, flow] : flows_) {
     for (auto& [seq, pending] : flow.pending) {
-      if (pending.timer) pending.timer();
+      pending.timer.cancel();
     }
   }
 }
@@ -45,7 +45,7 @@ void ReliableChannel::setup() {
 
   subscribe_ptr<Msg>(*up_, [this](MsgPtr m) { on_outgoing(std::move(m)); });
   subscribe_ptr<MessageNotifyReq>(
-      *up_, [this](std::shared_ptr<const MessageNotifyReq> req) {
+      *up_, [this](kompics::EventRef<MessageNotifyReq> req) {
         // Notification requests pass through unreliably-tracked (the
         // reliability layer's own acks supersede transport notifies).
         trigger(std::move(req), *down_);
@@ -53,11 +53,11 @@ void ReliableChannel::setup() {
 
   subscribe_ptr<Msg>(*down_, [this](MsgPtr m) { on_incoming(std::move(m)); });
   subscribe_ptr<MessageNotifyResp>(
-      *down_, [this](std::shared_ptr<const MessageNotifyResp> resp) {
+      *down_, [this](kompics::EventRef<MessageNotifyResp> resp) {
         trigger(std::move(resp), *up_);
       });
   subscribe_ptr<NetworkStatus>(
-      *down_, [this](std::shared_ptr<const NetworkStatus> status) {
+      *down_, [this](kompics::EventRef<NetworkStatus> status) {
         trigger(std::move(status), *up_);
       });
 }
@@ -81,7 +81,7 @@ void ReliableChannel::on_outgoing(MsgPtr msg) {
   BasicHeader h{config_.self, msg->header().destination(),
                 msg->header().protocol()};
   auto envelope =
-      std::make_shared<const ReliableEnvelope>(h, seq, std::move(*inner));
+      kompics::make_event<ReliableEnvelope>(h, seq, std::move(*inner));
   flow.pending.emplace(seq, Pending{envelope, 0, {}});
   ++stats_.sent;
   trigger(envelope, *down_);
@@ -122,7 +122,7 @@ void ReliableChannel::arm_retransmit(const Address& peer, std::uint64_t seq) {
 }
 
 void ReliableChannel::on_incoming(MsgPtr msg) {
-  if (auto env = std::dynamic_pointer_cast<const ReliableEnvelope>(msg)) {
+  if (auto env = kompics::event_cast<ReliableEnvelope>(msg)) {
     handle_envelope(std::move(env));
     return;
   }
@@ -134,7 +134,7 @@ void ReliableChannel::on_incoming(MsgPtr msg) {
 }
 
 void ReliableChannel::handle_envelope(
-    std::shared_ptr<const ReliableEnvelope> env) {
+    kompics::EventRef<ReliableEnvelope> env) {
   const Address peer = env->header().source().with_vnode(0);
   Flow& flow = flows_[peer];
   const std::uint64_t seq = env->seq();
@@ -169,7 +169,7 @@ void ReliableChannel::handle_ack(const ReliableAck& ack) {
   Flow& flow = fit->second;
   for (auto it = flow.pending.begin();
        it != flow.pending.end() && it->first <= ack.cumulative_seq();) {
-    if (it->second.timer) it->second.timer();
+    it->second.timer.cancel();
     it = flow.pending.erase(it);
     ++stats_.acked;
   }

@@ -114,7 +114,7 @@ class ReliableChannel final : public kompics::ComponentDefinition {
   struct Pending {
     MsgPtr envelope;
     int retries = 0;
-    kompics::CancelFn timer;
+    kompics::TimerHandle timer;
   };
   struct Flow {
     std::uint64_t next_seq = 1;               // sender side
@@ -125,7 +125,7 @@ class ReliableChannel final : public kompics::ComponentDefinition {
 
   void on_outgoing(MsgPtr msg);
   void on_incoming(MsgPtr msg);
-  void handle_envelope(std::shared_ptr<const ReliableEnvelope> env);
+  void handle_envelope(kompics::EventRef<ReliableEnvelope> env);
   void handle_ack(const ReliableAck& ack);
   void arm_retransmit(const Address& peer, std::uint64_t seq);
   void send_ack(const Address& peer, std::uint64_t cum);

@@ -85,7 +85,7 @@ void register_supervision_serializers(SerializerRegistry& registry) {
       [](const BasicHeader& h, wire::ByteBuf& buf) -> MsgPtr {
         const bool request = buf.read_u8() != 0;
         const auto seq = buf.read_varint();
-        return std::make_shared<const HeartbeatMsg>(h, request, seq);
+        return kompics::make_event<HeartbeatMsg>(h, request, seq);
       });
 }
 

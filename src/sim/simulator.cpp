@@ -8,27 +8,25 @@ EventHandle Simulator::schedule_at(TimePoint at, SmallFn fn) {
   if (at < now_) at = now_;
   const std::uint32_t slot = slots_->acquire();
   const std::uint32_t gen = slots_->slots[slot].gen;
-  queue_.push(Entry{at, next_seq_++, slot, gen, std::move(fn)});
+  wheel_.schedule(at.as_nanos(), next_seq_++, slot, gen, std::move(fn));
   return EventHandle{slots_, slot, gen};
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    // const_cast is safe: we pop immediately after moving the closure out,
-    // and the heap ordering does not depend on `fn`.
-    auto& top = const_cast<Entry&>(queue_.top());
-    if (slots_->is_cancelled(top.slot, top.gen)) {
-      slots_->release(top.slot);
-      queue_.pop();
+  for (Wheel::Node* node = wheel_.pop(); node != nullptr;
+       node = wheel_.pop()) {
+    if (slots_->is_cancelled(node->slot, node->gen)) {
+      slots_->release(node->slot);
+      wheel_.recycle(node);
       continue;
     }
-    now_ = top.at;
-    auto fn = std::move(top.fn);
-    // Release the slot before running: a cancel() from inside the callback
-    // (or later) must be a no-op, and the callback may schedule new events
-    // that recycle the slot under a fresh generation.
-    slots_->release(top.slot);
-    queue_.pop();
+    now_ = TimePoint::from_nanos(node->at);
+    auto fn = std::move(node->payload);
+    // Release the slot (and recycle the node) before running: a cancel()
+    // from inside the callback must be a no-op, and the callback may
+    // schedule new events that recycle both under fresh generations.
+    slots_->release(node->slot);
+    wheel_.recycle(node);
     ++executed_;
     fn();
     return true;
@@ -44,26 +42,33 @@ std::uint64_t Simulator::run() {
 
 std::uint64_t Simulator::run_until(TimePoint until) {
   std::uint64_t n = 0;
-  while (!queue_.empty()) {
-    const auto& top = queue_.top();
-    if (slots_->is_cancelled(top.slot, top.gen)) {
-      slots_->release(top.slot);
-      queue_.pop();
+  // next_at() is re-checked after every pop: it is a conservative-early
+  // bound while cancelled nodes linger, but each pop returns the true
+  // minimum (at, seq), so node->at == next_at() <= until for every node
+  // taken here — no live event beyond `until` can fire.
+  while (true) {
+    const std::int64_t next = wheel_.next_at();
+    if (next == Wheel::kNoEvent || next > until.as_nanos()) break;
+    Wheel::Node* node = wheel_.pop();
+    if (slots_->is_cancelled(node->slot, node->gen)) {
+      slots_->release(node->slot);
+      wheel_.recycle(node);
       continue;
     }
-    if (top.at > until) break;
-    if (step()) ++n;
+    now_ = TimePoint::from_nanos(node->at);
+    auto fn = std::move(node->payload);
+    slots_->release(node->slot);
+    wheel_.recycle(node);
+    ++executed_;
+    ++n;
+    fn();
   }
   if (now_ < until) now_ = until;
   return n;
 }
 
 TimePoint Simulator::next_event_time() const {
-  // Cancelled entries may linger at the top; we cannot pop from a const
-  // method, so report their time — run_until skips them lazily, which only
-  // makes this a conservative (early) bound.
-  if (queue_.empty()) return TimePoint::max();
-  return queue_.top().at;
+  return TimePoint::from_nanos(wheel_.next_at());
 }
 
 }  // namespace kmsg::sim

@@ -1,25 +1,28 @@
 // Discrete-event simulation core.
 //
-// A single-threaded priority-queue simulator with deterministic tie-breaking:
-// events scheduled for the same instant execute in scheduling order. All
-// timed behaviour in the simulated stack — link serialisation, protocol
-// timers, Kompics timers, learner episodes — is expressed as events here, so
-// a fixed seed yields a bit-identical run.
+// A single-threaded simulator with deterministic tie-breaking: events
+// scheduled for the same instant execute in scheduling order. All timed
+// behaviour in the simulated stack — link serialisation, protocol timers,
+// Kompics timers, learner episodes — is expressed as events here, so a fixed
+// seed yields a bit-identical run.
 //
-// The event hot path is allocation-free: closures are stored as SmallFn
-// (small-buffer optimised, see common/small_fn.hpp) directly inside the heap
-// entries, and cancellation uses a slot/generation table shared by all
-// handles of a simulator instead of one shared_ptr<bool> per event. The only
-// allocations are amortised container growth.
+// The event queue is a hierarchical timing wheel (common/timing_wheel.hpp):
+// O(1) schedule and cancel instead of the old binary heap's O(log n), with
+// the (time, sequence) firing order preserved by sorting each due slot as it
+// drains. Closures are stored as SmallFn (small-buffer optimised, see
+// common/small_fn.hpp) directly inside pooled wheel nodes, and cancellation
+// uses a slot/generation table shared by all handles of a simulator.
+// Steady-state scheduling is allocation-free; the only allocations are
+// amortised pool/container growth.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/small_fn.hpp"
 #include "common/time.hpp"
+#include "common/timing_wheel.hpp"
 
 namespace kmsg::sim {
 
@@ -81,6 +84,10 @@ class EventHandle {
     return table_ && table_->is_cancelled(slot_, gen_);
   }
 
+  /// Slot-table coordinates (for embedding in scheduler timer handles).
+  std::uint32_t slot() const { return slot_; }
+  std::uint32_t gen() const { return gen_; }
+
  private:
   friend class Simulator;
   EventHandle(std::shared_ptr<detail::SlotTable> table, std::uint32_t slot,
@@ -112,6 +119,13 @@ class Simulator final : public Clock {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
+  /// Cancels a scheduled event by slot-table coordinates (the by-value
+  /// equivalent of EventHandle::cancel, used by kompics::TimerHandle).
+  void cancel(std::uint32_t slot, std::uint32_t gen) {
+    auto& s = slots_->slots[slot];
+    if (s.gen == gen) s.state = detail::SlotTable::kCancelled;
+  }
+
   /// Runs until the queue is empty. Returns the number of events executed.
   std::uint64_t run();
 
@@ -122,33 +136,23 @@ class Simulator final : public Clock {
   /// Executes the single next event, if any. Returns false when idle.
   bool step();
 
-  bool idle() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool idle() const { return wheel_.empty(); }
+  std::size_t pending() const { return wheel_.size(); }
   std::uint64_t executed() const { return executed_; }
 
   /// Time of the next scheduled event; TimePoint::max() when idle.
+  /// Lazily-cancelled events may make this a conservative (early) bound —
+  /// run_until skips them without executing anything.
   TimePoint next_event_time() const;
 
  private:
-  struct Entry {
-    TimePoint at;
-    std::uint64_t seq;  // deterministic FIFO tie-break
-    std::uint32_t slot;
-    std::uint32_t gen;
-    SmallFn fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  using Wheel = TimingWheel<SmallFn>;
 
   TimePoint now_ = TimePoint::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::shared_ptr<detail::SlotTable> slots_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Wheel wheel_;
 };
 
 }  // namespace kmsg::sim

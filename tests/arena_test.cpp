@@ -1,0 +1,178 @@
+// Event arena lifetime/aliasing guarantees (the event-layer mirror of
+// zero_copy_test.cpp's slab-pool guarantees):
+//  - an EventRef keeps its event alive past the publisher, the port, the
+//    component, and the whole system;
+//  - fan-out shares one event object across components with intrusive
+//    refcounts (no copies, no control blocks);
+//  - released events go back to the size-classed freelists and are reused
+//    (under ASan the cached block is poisoned, so use-after-release of a
+//    pooled event is reported like a heap use-after-free);
+//  - the dispatch hot path (make_event -> trigger -> mailbox -> handler ->
+//    release) is allocation-free once the arena and caches are warm
+//    (counting global operator new).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "kompics/system.hpp"
+#include "sim/simulator.hpp"
+
+// Counting allocator: tracks every global allocation so the dispatch path
+// can be pinned allocation-free.
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+void* counted_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace kmsg::kompics {
+namespace {
+
+struct ProbeEvent final : KompicsEvent {
+  explicit ProbeEvent(int v) : value(v) {}
+  ~ProbeEvent() override { ++destroyed; }
+  int value;
+  static inline int destroyed = 0;
+};
+
+struct ProbePort : PortType {
+  ProbePort() { indication<ProbeEvent>(); }
+};
+
+class Producer final : public ComponentDefinition {
+ public:
+  void setup() override { port_ = &provides<ProbePort>(); }
+  PortInstance& port() { return *port_; }
+  void emit(int v) { trigger(make_event<ProbeEvent>(v), *port_); }
+
+ private:
+  PortInstance* port_ = nullptr;
+};
+
+class Consumer final : public ComponentDefinition {
+ public:
+  void setup() override {
+    port_ = &require<ProbePort>();
+    subscribe_ptr<ProbeEvent>(*port_, [this](EventRef<ProbeEvent> ev) {
+      last = std::move(ev);
+      ++received;
+    });
+  }
+  PortInstance& port() { return *port_; }
+  EventRef<ProbeEvent> last;
+  int received = 0;
+
+ private:
+  PortInstance* port_ = nullptr;
+};
+
+TEST(ArenaTest, EventOutlivesPublisherAndSystem) {
+  ProbeEvent::destroyed = 0;
+  EventRef<ProbeEvent> survivor;
+  {
+    sim::Simulator sim;
+    KompicsSystem sys(sim);
+    auto& prod = sys.create<Producer>("p");
+    auto& cons = sys.create<Consumer>("c");
+    sys.connect(prod.port(), cons.port());
+    prod.emit(41);
+    sim.run();
+    ASSERT_EQ(cons.received, 1);
+    survivor = cons.last;  // share, then let the whole system die
+  }
+  ASSERT_TRUE(survivor);
+  EXPECT_EQ(survivor->value, 41);
+  EXPECT_EQ(ProbeEvent::destroyed, 0);  // the ref is still pinning it
+  survivor.reset();
+  EXPECT_EQ(ProbeEvent::destroyed, 1);
+}
+
+TEST(ArenaTest, FanOutSharesOneEventAcrossComponents) {
+  sim::Simulator sim;
+  KompicsSystem sys(sim);
+  auto& prod = sys.create<Producer>("p");
+  auto& c1 = sys.create<Consumer>("c1");
+  auto& c2 = sys.create<Consumer>("c2");
+  auto& c3 = sys.create<Consumer>("c3");
+  sys.connect(prod.port(), c1.port());
+  sys.connect(prod.port(), c2.port());
+  sys.connect(prod.port(), c3.port());
+  prod.emit(7);
+  sim.run();
+  ASSERT_EQ(c1.received + c2.received + c3.received, 3);
+  // All three kept a reference to the *same* object — intrusive sharing,
+  // not per-receiver copies.
+  EXPECT_EQ(c1.last.get(), c2.last.get());
+  EXPECT_EQ(c2.last.get(), c3.last.get());
+  EXPECT_EQ(c1.last.use_count(), 3u);
+  c1.last.reset();
+  EXPECT_EQ(c2.last.use_count(), 2u);
+}
+
+TEST(ArenaTest, PoolReusesReleasedBlocks) {
+  // Same size class, sequential acquire/release: the freelist must hand the
+  // exact block back instead of growing. (Under ASan the cached block is
+  // poisoned in between — a dangling EventRef dereference would trap.)
+  auto first = make_event<ProbeEvent>(1);
+  const void* block = first.get();
+  first.reset();
+  auto second = make_event<ProbeEvent>(2);
+  EXPECT_EQ(static_cast<const void*>(second.get()), block);
+  EXPECT_EQ(second->value, 2);
+}
+
+TEST(ArenaTest, CopiedEventIsAFreshValueObject) {
+  // KompicsEvent's copy constructor must not clone refcount/arena identity:
+  // a stack copy of a pooled event is an independent object whose
+  // destruction must not touch the arena.
+  auto pooled = make_event<ProbeEvent>(5);
+  {
+    ProbeEvent stack_copy(*pooled);
+    EXPECT_EQ(stack_copy.value, 5);
+    EXPECT_EQ(stack_copy.event_type(), kEventTypeUnknown);
+  }
+  EXPECT_EQ(pooled->value, 5);  // original untouched by the copy's death
+}
+
+TEST(ArenaTest, DispatchSteadyStateIsAllocationFree) {
+  sim::Simulator sim;
+  KompicsSystem sys(sim);
+  auto& prod = sys.create<Producer>("p");
+  auto& cons = sys.create<Consumer>("c");
+  sys.connect(prod.port(), cons.port());
+
+  // Warm-up at the measured burst size: a 1000-event burst keeps 1000
+  // events + 1000 mailbox nodes live at once, and the freelists only grow
+  // on release — so the warm-up must reach the same high-water mark. Also
+  // builds the dispatch-cache line and sizes the wheel/slot pools.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 1000; ++i) prod.emit(i);
+    sim.run();
+  }
+  cons.last.reset();
+
+  const std::uint64_t allocs_before = g_allocs.load();
+  for (int i = 0; i < 1000; ++i) prod.emit(i);
+  sim.run();
+  cons.last.reset();
+  const std::uint64_t allocs = g_allocs.load() - allocs_before;
+  EXPECT_EQ(allocs, 0u) << "dispatch hot path allocated " << allocs
+                        << " times for 1000 events";
+  EXPECT_EQ(cons.received, 4 * 1000);
+}
+
+}  // namespace
+}  // namespace kmsg::kompics

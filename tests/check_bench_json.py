@@ -5,6 +5,13 @@ Used by the bench-smoke ctest label: after a short benchmark run, checks that
 every key benchmark is present and carries the fields the perf trajectory in
 BENCH_micro.json relies on — ns/op (real_time) and the allocation counters
 reported by the counting allocator in bench/micro_benchmarks.cpp.
+
+Bench credibility: the binary self-reports its build type (kmsg_build_type
+context key, stamped from CMAKE_BUILD_TYPE). Numbers from unoptimized builds
+are refused outright — Debug/empty build types fail the check. Optimized
+non-Release builds (RelWithDebInfo, or sanitized builds) pass with a loud
+warning so the default dev workflow keeps working, but their numbers must not
+be committed as the perf trajectory.
 """
 import json
 import sys
@@ -19,10 +26,40 @@ REQUIRED_BENCHMARKS = [
 REQUIRED_FIELDS = ["name", "real_time", "cpu_time", "time_unit", "iterations"]
 REQUIRED_COUNTERS = ["allocs_per_op", "alloc_bytes_per_op"]
 
+# Build types with full optimization; anything else is refused.
+OPTIMIZED_BUILD_TYPES = {"Release", "RelWithDebInfo", "MinSizeRel"}
+
 
 def fail(msg):
     print(f"bench json schema error: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def warn(msg):
+    print(f"bench json WARNING: {msg}", file=sys.stderr)
+
+
+def check_build_type(context):
+    build_type = context.get("kmsg_build_type")
+    if build_type is None:
+        fail(
+            "context is missing 'kmsg_build_type' — the benchmark binary was "
+            "built without the build-type stamp (rebuild micro_benchmarks)"
+        )
+    if build_type not in OPTIMIZED_BUILD_TYPES:
+        fail(
+            f"refusing benchmark numbers from a '{build_type}' build — "
+            "benchmarks are only meaningful with optimization "
+            "(configure with -DCMAKE_BUILD_TYPE=Release)"
+        )
+    sanitized = context.get("kmsg_sanitized") == "yes"
+    if build_type != "Release" or sanitized:
+        why = f"build type {build_type}" + (" with sanitizers" if sanitized else "")
+        warn(
+            f"numbers come from {why}, not a plain Release build — fine for "
+            "the smoke check, but do NOT commit them to BENCH_micro.json"
+        )
+    return build_type
 
 
 def main():
@@ -36,6 +73,7 @@ def main():
 
     if "context" not in doc:
         fail("missing top-level 'context'")
+    build_type = check_build_type(doc["context"])
     benches = {b.get("name"): b for b in doc.get("benchmarks", [])}
     if not benches:
         fail("no 'benchmarks' array")
@@ -55,7 +93,10 @@ def main():
         if b["real_time"] <= 0:
             fail(f"{name}: non-positive real_time")
 
-    print(f"ok: {len(REQUIRED_BENCHMARKS)} benchmarks validated")
+    print(
+        f"ok: {len(REQUIRED_BENCHMARKS)} benchmarks validated "
+        f"(build type: {build_type})"
+    )
 
 
 if __name__ == "__main__":

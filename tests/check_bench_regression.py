@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate.
+
+Diffs a fresh google-benchmark JSON run (build/BENCH_micro.json) against the
+committed perf trajectory (BENCH_micro.json at the repo root) and fails if any
+benchmark regressed by more than --threshold (default 15%) in ns/op.
+
+The committed file is the curated trajectory format ({"benchmarks": {name:
+{"after_ns_per_op": ...}}}); the fresh file is raw google-benchmark output
+({"benchmarks": [{"name": ..., "real_time": ...}]}). Both shapes are accepted
+on either side so the script also works for raw-vs-raw comparisons.
+
+The gate is only a hard failure for plain Release builds: under sanitizers or
+any non-Release build type the timings are not comparable to the committed
+Release numbers, so regressions are reported as warnings (exit 0). Benchmarks
+present on only one side are reported but never fatal — new benchmarks have no
+baseline yet and retired ones have no current number.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench regression error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+
+
+def ns_per_op(doc):
+    """Returns {benchmark name: ns/op} from either JSON shape."""
+    benches = doc.get("benchmarks")
+    out = {}
+    if isinstance(benches, list):  # raw google-benchmark output
+        for b in benches:
+            name, t = b.get("name"), b.get("real_time")
+            if name is not None and isinstance(t, (int, float)) and t > 0:
+                out[name] = float(t)
+    elif isinstance(benches, dict):  # curated trajectory format
+        for name, entry in benches.items():
+            t = entry.get("after_ns_per_op")
+            if isinstance(t, (int, float)) and t > 0:
+                out[name] = float(t)
+    return out
+
+
+def is_soft(doc):
+    """True when timings are not comparable to the committed Release numbers."""
+    ctx = doc.get("context", {})
+    return (
+        ctx.get("kmsg_sanitized") == "yes"
+        or ctx.get("kmsg_build_type", "Release") != "Release"
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh", help="freshly generated benchmark JSON")
+    ap.add_argument("baseline", help="committed baseline (trajectory or raw)")
+    ap.add_argument("--threshold", type=float, default=15.0,
+                    help="max allowed ns/op regression in percent")
+    args = ap.parse_args()
+
+    fresh_doc = load(args.fresh)
+    base_doc = load(args.baseline)
+    fresh = ns_per_op(fresh_doc)
+    base = ns_per_op(base_doc)
+    if not fresh:
+        print(f"bench regression error: no timings in {args.fresh}",
+              file=sys.stderr)
+        sys.exit(1)
+    if not base:
+        print(f"bench regression error: no timings in {args.baseline}",
+              file=sys.stderr)
+        sys.exit(1)
+
+    soft = is_soft(fresh_doc)
+    regressions = []
+    for name in sorted(set(fresh) & set(base)):
+        delta_pct = (fresh[name] / base[name] - 1.0) * 100.0
+        marker = ""
+        if delta_pct > args.threshold:
+            regressions.append((name, delta_pct))
+            marker = "  <-- REGRESSION" if not soft else "  <-- regression (soft)"
+        print(f"{name}: {base[name]:.1f} -> {fresh[name]:.1f} ns/op "
+              f"({delta_pct:+.1f}%){marker}")
+    for name in sorted(set(base) - set(fresh)):
+        print(f"{name}: missing from fresh run (no current number)")
+    for name in sorted(set(fresh) - set(base)):
+        print(f"{name}: no committed baseline (new benchmark)")
+
+    if regressions:
+        summary = ", ".join(f"{n} +{d:.1f}%" for n, d in regressions)
+        if soft:
+            print(f"bench regression WARNING (non-Release/sanitized build, "
+                  f"not enforced): {summary}", file=sys.stderr)
+            sys.exit(0)
+        print(f"bench regression FAILURE (>{args.threshold:.0f}% ns/op): "
+              f"{summary}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: no benchmark regressed more than {args.threshold:.0f}% "
+          f"against {args.baseline}")
+
+
+if __name__ == "__main__":
+    main()

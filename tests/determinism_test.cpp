@@ -1,0 +1,200 @@
+// Determinism golden-trace tests for the hierarchical timing wheel.
+//
+// The simulator's documented contract: events fire in (time, scheduling
+// order); for a fixed seed every run is bit-identical. The old binary heap
+// got this via a (time, seq) comparator; the timing wheel must preserve it
+// across its own mechanics — slot placement, cascading between levels, the
+// sort-at-drain of the current tick's slot, and the drained_until_ routing
+// of same-instant inserts made from inside a firing event.
+//
+// The tests build an explicit *reference model* (stable-sort by firing time
+// of the scheduling log) and require the executed trace to match it exactly,
+// with schedules deliberately clustered around wheel cascade boundaries
+// (level-0 span = 64 ticks * 1024 ns = 65536 ns; level-1 span = 64 * 65536
+// ns) and with timers cancelled and re-armed across those boundaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace kmsg::sim {
+namespace {
+
+// Wheel geometry mirrored from common/timing_wheel.hpp — keep in sync.
+constexpr std::int64_t kTickNs = 1 << 10;              // level-0 tick
+constexpr std::int64_t kL0SpanNs = 64 * kTickNs;       // level-0 wraps (65536)
+constexpr std::int64_t kL1SpanNs = 64 * kL0SpanNs;     // level-1 wraps
+
+struct TraceEntry {
+  std::int64_t at_ns;
+  int id;
+  bool operator==(const TraceEntry& o) const {
+    return at_ns == o.at_ns && id == o.id;
+  }
+};
+
+/// Deterministic xorshift so the schedule is varied but reproducible.
+struct XorShift {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+};
+
+/// Reference model: events fire ordered by firing time, ties broken by
+/// scheduling order — exactly what stable_sort over the scheduling log gives.
+std::vector<TraceEntry> reference_order(std::vector<TraceEntry> scheduled) {
+  std::stable_sort(scheduled.begin(), scheduled.end(),
+                   [](const TraceEntry& a, const TraceEntry& b) {
+                     return a.at_ns < b.at_ns;
+                   });
+  return scheduled;
+}
+
+TEST(DeterminismTest, GoldenTraceMatchesReferenceModel) {
+  Simulator sim;
+  std::vector<TraceEntry> trace;
+  std::vector<TraceEntry> scheduled;
+  XorShift rng{42};
+
+  // Delays spanning all interesting wheel regimes: same tick, same level-0
+  // rotation, exactly on / either side of level-0 and level-1 cascade
+  // boundaries, and far future. Plus bursts at identical instants.
+  const std::int64_t interesting[] = {
+      0,          1,           kTickNs - 1,  kTickNs,      kTickNs + 1,
+      kL0SpanNs - kTickNs,     kL0SpanNs - 1, kL0SpanNs,   kL0SpanNs + 1,
+      kL0SpanNs + kTickNs,     3 * kL0SpanNs, kL1SpanNs - 1, kL1SpanNs,
+      kL1SpanNs + 1,           kL1SpanNs + kL0SpanNs,       7 * kL1SpanNs};
+  int id = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (std::int64_t base : interesting) {
+      // Jitter half the schedules so slots fill unevenly; keep the other
+      // half exactly on the boundary to exercise ties at cascade instants.
+      const std::int64_t jitter =
+          (rng.next() % 2 == 0)
+              ? 0
+              : static_cast<std::int64_t>(rng.next() % (2 * kTickNs));
+      const std::int64_t at = base + jitter + round;
+      const int my_id = id++;
+      scheduled.push_back({at, my_id});
+      sim.schedule_at(TimePoint::from_nanos(at), [&trace, &sim, my_id] {
+        trace.push_back({sim.now().as_nanos(), my_id});
+      });
+    }
+  }
+  sim.run();
+
+  ASSERT_EQ(trace.size(), scheduled.size());
+  EXPECT_EQ(trace, reference_order(std::move(scheduled)));
+}
+
+TEST(DeterminismTest, CancelAndRearmAcrossCascadeBoundaries) {
+  Simulator sim;
+  std::vector<TraceEntry> trace;
+  std::vector<TraceEntry> expected;
+
+  // A timer armed past a cascade boundary, cancelled before the boundary is
+  // reached, then re-armed to a different slot — the cancelled node must be
+  // skipped wherever it physically sits (it may already have cascaded).
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 16; ++i) {
+    const std::int64_t at = kL0SpanNs + i * kTickNs;
+    doomed.push_back(sim.schedule_at(
+        TimePoint::from_nanos(at), [&trace] { trace.push_back({-1, -1}); }));
+  }
+  // Survivors interleaved at the same instants as the doomed timers (ties
+  // with cancelled neighbours must not perturb ordering).
+  for (int i = 0; i < 16; ++i) {
+    const std::int64_t at = kL0SpanNs + i * kTickNs;
+    expected.push_back({at, 100 + i});
+    sim.schedule_at(TimePoint::from_nanos(at), [&trace, &sim, i] {
+      trace.push_back({sim.now().as_nanos(), 100 + i});
+    });
+  }
+  // Cancel the doomed batch just before the level-0 boundary cascades.
+  sim.schedule_at(TimePoint::from_nanos(kL0SpanNs - kTickNs), [&] {
+    for (auto& h : doomed) h.cancel();
+    trace.push_back({sim.now().as_nanos(), 0});
+  });
+  expected.insert(expected.begin(), {kL0SpanNs - kTickNs, 0});
+
+  // Re-arm chain crossing the level-1 boundary: each firing schedules the
+  // next further out, from inside the drain loop.
+  const std::int64_t hops[] = {kL1SpanNs - kTickNs, kL1SpanNs,
+                               kL1SpanNs + kTickNs, 2 * kL1SpanNs};
+  for (std::size_t k = 0; k < std::size(hops); ++k) {
+    expected.push_back({hops[k], 200 + static_cast<int>(k)});
+  }
+  std::size_t hop = 0;
+  std::function<void()> rearm = [&] {
+    trace.push_back({sim.now().as_nanos(), 200 + static_cast<int>(hop)});
+    if (++hop < std::size(hops)) {
+      sim.schedule_at(TimePoint::from_nanos(hops[hop]), [&] { rearm(); });
+    }
+  };
+  sim.schedule_at(TimePoint::from_nanos(hops[0]), [&] { rearm(); });
+
+  sim.run();
+  EXPECT_EQ(trace, expected);
+}
+
+TEST(DeterminismTest, SameInstantInsertFromRunningEventFiresInOrder) {
+  // An event that schedules more work at the *current* instant: the wheel
+  // has already drained past that tick, so the insert must still fire at the
+  // same simulated time, after everything previously scheduled there.
+  Simulator sim;
+  std::vector<TraceEntry> trace;
+  const std::int64_t at = kL0SpanNs;  // on a cascade boundary for spice
+  sim.schedule_at(TimePoint::from_nanos(at), [&] {
+    trace.push_back({sim.now().as_nanos(), 1});
+    sim.schedule_at(TimePoint::from_nanos(at), [&] {
+      trace.push_back({sim.now().as_nanos(), 3});
+    });
+  });
+  sim.schedule_at(TimePoint::from_nanos(at), [&] {
+    trace.push_back({sim.now().as_nanos(), 2});
+  });
+  sim.run();
+  const std::vector<TraceEntry> expected = {{at, 1}, {at, 2}, {at, 3}};
+  EXPECT_EQ(trace, expected);
+  EXPECT_EQ(sim.now().as_nanos(), at);
+}
+
+TEST(DeterminismTest, RepeatedRunsAreBitIdentical) {
+  // Same seed, two runs, traces compared entry-for-entry — the golden-trace
+  // analogue of multinode_test's FullStackDeterminism, at the wheel layer.
+  auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    std::vector<TraceEntry> trace;
+    XorShift rng{seed};
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 500; ++i) {
+      const std::int64_t at =
+          static_cast<std::int64_t>(rng.next() % (3 * kL1SpanNs));
+      handles.push_back(
+          sim.schedule_at(TimePoint::from_nanos(at), [&trace, &sim, i] {
+            trace.push_back({sim.now().as_nanos(), i});
+          }));
+    }
+    // Cancel a pseudo-random third of them.
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (rng.next() % 3 == 0) handles[i].cancel();
+    }
+    sim.run();
+    return trace;
+  };
+  const auto a = run(1234567);
+  const auto b = run(1234567);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, run(7654321));  // different seed actually changes the trace
+}
+
+}  // namespace
+}  // namespace kmsg::sim

@@ -445,9 +445,10 @@ TEST(ThreadPoolTest, DelayedSchedulingFires) {
 TEST(ThreadPoolTest, CancelDelayedCallback) {
   KompicsSystem sys(2);
   std::atomic<bool> fired{false};
-  auto cancel = sys.scheduler().schedule_delayed(Duration::millis(50),
-                                                 [&] { fired = true; });
-  cancel();
+  TimerHandle timer = sys.scheduler().schedule_delayed(Duration::millis(50),
+                                                       [&] { fired = true; });
+  EXPECT_TRUE(timer.valid());
+  timer.cancel();
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   EXPECT_FALSE(fired);
   sys.shutdown();

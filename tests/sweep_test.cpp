@@ -45,7 +45,7 @@ TEST_P(PayloadSweepTest, RoundTripsUnmodified) {
 
   DataHeader h{exp.addr_a(), exp.addr_b(), transport};
   auto payload = apps::make_payload(12345, bytes);
-  sender.network().publish(std::make_shared<const DataChunkMsg>(
+  sender.network().publish(kompics::make_event<DataChunkMsg>(
       h, 1, 12345, payload, true));
   exp.run_for(Duration::seconds(3.0));
 
@@ -120,7 +120,7 @@ TEST_P(CompressionSweepTest, PipelineRoundTripWithCompression) {
   }
   DataHeader h{exp.addr_a(), exp.addr_b(), Transport::kTcp};
   sender.network().publish(
-      std::make_shared<const DataChunkMsg>(h, 1, 0, payload, true));
+      kompics::make_event<DataChunkMsg>(h, 1, 0, payload, true));
   exp.run_for(Duration::seconds(2.0));
 
   ASSERT_EQ(receiver.got.size(), 1u);
