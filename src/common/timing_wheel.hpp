@@ -127,6 +127,32 @@ class TimingWheel {
   /// Detaches and returns the next node in (at, seq) order, or nullptr.
   /// The caller runs or discards it, then must recycle() it.
   Node* pop() {
+    if (!fill_ready()) return nullptr;
+    Node* n = ready_.back();
+    ready_.pop_back();
+    --size_;
+    return n;
+  }
+
+  /// The next node in (at, seq) order without detaching it, or nullptr.
+  /// Unlike next_at() this is exact, not conservative: it surfaces the true
+  /// head node so callers can inspect its cancellation tag (and pop() it if
+  /// it turns out to be dead). Advances the cursor like pop() does.
+  Node* peek() {
+    if (!fill_ready()) return nullptr;
+    return ready_.back();
+  }
+
+  /// Returns a popped node's memory to the wheel's pool.
+  void recycle(Node* n) { destroy(n); }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+ private:
+  /// Ensures ready_ holds the head node (draining/cascading slots as
+  /// needed). Returns false when the wheel is empty.
+  bool fill_ready() {
     while (ready_.empty()) {
       int level = 0;
       std::uint64_t mask = 0;
@@ -134,7 +160,7 @@ class TimingWheel {
         mask = occupancy_[level] & (~std::uint64_t{0} << level_index(level));
         if (mask != 0) break;
       }
-      if (level == kLevels) return nullptr;
+      if (level == kLevels) return false;
       const int idx = std::countr_zero(mask);
       if (level == 0) {
         cur_tick_ = (cur_tick_ & ~std::int64_t{kSlots - 1}) | idx;
@@ -159,19 +185,9 @@ class TimingWheel {
         n = next;
       }
     }
-    Node* n = ready_.back();
-    ready_.pop_back();
-    --size_;
-    return n;
+    return true;
   }
 
-  /// Returns a popped node's memory to the wheel's pool.
-  void recycle(Node* n) { destroy(n); }
-
-  bool empty() const { return size_ == 0; }
-  std::size_t size() const { return size_; }
-
- private:
   // Descending (at, seq): ready_.back() is the next event. (at, seq) is
   // unique, so this is a strict weak order and std::sort is deterministic.
   static bool later(const Node* a, const Node* b) {

@@ -13,8 +13,20 @@
 //
 // Duplex convention: link-targeted events apply to both directions of the
 // (a, b) pair when both directed links exist, mirroring add_duplex_link.
+//
+// Sharded networks: every link and partition view is owned by one shard, so
+// each event is armed on every shard it touches (both endpoint shards for a
+// pair event, all shards for broadcast events like partition/heal) and each
+// armed copy mutates only its own shard's state. Because arming happens
+// before the run, the armed closures take the invariantly-earliest band-0
+// keys on every shard — chaos fires before same-instant runtime events in
+// every layout, which parity tests rely on. The trace and stats are recorded
+// once per logical event (by its lowest target shard) under a mutex;
+// trace_string() orders by (time, description), so the fingerprint is
+// bit-identical across shard counts and thread interleavings.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -82,8 +94,9 @@ class ChaosSchedule {
   ChaosSchedule& random_flaps(int count, Duration from, Duration to,
                               Duration down_for);
 
-  /// Registers all pending events with the network's simulator. Call once,
-  /// before (or while) the simulation runs; events in the past run "now".
+  /// Registers all pending events with the network's simulator(s) — on every
+  /// shard an event touches, in sharded mode. Call once, before the
+  /// simulation runs; events in the past run "now".
   void arm();
   bool armed() const { return armed_; }
 
@@ -92,9 +105,13 @@ class ChaosSchedule {
     TimePoint at;
     std::string description;
   };
-  /// Events applied so far, in application order.
+  /// Events applied so far. Application order within an instant is only
+  /// deterministic in single-shard runs; use trace_string() for a
+  /// layout-invariant fingerprint. Read between runs, not while workers run.
   const std::vector<AppliedEvent>& trace() const { return trace_; }
-  /// The trace flattened to one line per event — a replay fingerprint.
+  /// The trace flattened to one line per event, ordered by
+  /// (time, description) — a replay fingerprint that is bit-identical across
+  /// shard counts.
   std::string trace_string() const;
   const ChaosStats& stats() const { return stats_; }
 
@@ -102,17 +119,33 @@ class ChaosSchedule {
   struct Pending {
     Duration at;
     std::string description;
-    std::function<void()> apply;
+    /// Which shards the event must be armed on: every shard (broadcast
+    /// events) or just the endpoint shards of a host pair.
+    enum class Scope { kAll, kPair } scope;
+    HostId a = 0, b = 0;  ///< endpoints, for Scope::kPair
+    /// Mutates only the given shard's slice of network state.
+    std::function<void(unsigned shard)> apply;
+    /// Stats counter this event bumps once (on its recording shard).
+    std::uint64_t ChaosStats::* stat;
   };
 
-  ChaosSchedule& add(Duration t, std::string description,
-                     std::function<void()> apply);
-  /// Applies `fn` to both directions of (a, b) that exist.
-  void for_pair(HostId a, HostId b, const std::function<void(Link&)>& fn);
+  ChaosSchedule& add_all(Duration t, std::string description,
+                         std::uint64_t ChaosStats::* stat,
+                         std::function<void(unsigned)> apply);
+  ChaosSchedule& add_pair(Duration t, std::string description,
+                          std::uint64_t ChaosStats::* stat, HostId a, HostId b,
+                          std::function<void(unsigned)> apply);
+  /// Applies `fn` to the directions of (a, b) whose links are owned by
+  /// `shard` (a->b lives on a's shard, b->a on b's).
+  void for_pair_on(unsigned shard, HostId a, HostId b,
+                   const std::function<void(Link&)>& fn);
+  /// Applies `fn` to every link owned by `shard`.
+  void for_each_link_on(unsigned shard, const std::function<void(Link&)>& fn);
 
   Network& net_;
   Rng rng_;
   std::vector<Pending> pending_;
+  mutable std::mutex mu_;  ///< guards trace_ and stats_ during threaded runs
   std::vector<AppliedEvent> trace_;
   ChaosStats stats_;
   bool armed_ = false;

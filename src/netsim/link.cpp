@@ -5,13 +5,20 @@
 
 namespace kmsg::netsim {
 
-Link::Link(sim::Simulator& sim, LinkConfig config, DeliverFn deliver, Rng rng)
+Link::Link(sim::Simulator& sim, LinkConfig config, std::uint64_t key_base,
+           ScheduleDeliveryFn schedule_delivery, Rng rng)
     : sim_(sim),
       config_(config),
-      deliver_(std::move(deliver)),
+      key_base_(key_base),
+      schedule_delivery_(std::move(schedule_delivery)),
       rng_(rng),
       tokens_(config.udp_policer ? static_cast<double>(config.udp_policer->burst_bytes) : 0.0),
-      tokens_updated_(sim.now()) {}
+      tokens_updated_(sim.now()) {
+  // The configured delay itself must respect the floor, or the sharded
+  // engine's lookahead derivation would be unsound from t=0.
+  config_.propagation_delay =
+      std::max(config_.propagation_delay, config_.min_propagation_delay);
+}
 
 bool Link::policer_admit(const Datagram& dg) {
   if (!config_.udp_policer || dg.proto != IpProto::kUdp) return true;
@@ -100,11 +107,17 @@ void Link::start_transmission() {
           static_cast<std::uint64_t>(config_.reorder_jitter.as_nanos()) + 1)));
       ++stats_.reordered;
     }
-    sim_.schedule_after(prop, [this, dg] {
-      ++stats_.datagrams_delivered;
-      stats_.bytes_delivered += dg.wire_bytes;
-      deliver_(dg);
-    });
+    // Delivered-stats are bumped here, on the sender's shard, rather than at
+    // arrival: the arrival may execute on another shard's thread, and LinkStats
+    // is single-writer by design. Run-end totals are identical either way.
+    ++stats_.datagrams_delivered;
+    stats_.bytes_delivered += dg.wire_bytes;
+    // Hand off to the Network with a sender-computed, layout-invariant
+    // delivery key: same-instant arrivals sort the same way no matter which
+    // shard (or thread) schedules them.
+    const std::uint64_t key =
+        key_base_ | (send_counter_++ & sim::kDeliveryCounterMask);
+    schedule_delivery_(sim_.now() + prop, key, dg);
     start_transmission();
   });
 }

@@ -11,6 +11,7 @@
 // scripted timeline.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -30,6 +31,13 @@ struct PolicerConfig {
 struct LinkConfig {
   double bandwidth_bytes_per_sec = 100e6;
   Duration propagation_delay = Duration::millis(0);
+  /// Hard floor under propagation_delay: runtime delay changes (chaos
+  /// delay_at events) clamp to at least this value, in every shard layout.
+  /// The sharded engine derives its per-shard-pair conservative lookahead
+  /// from this floor, so cross-shard links must declare a positive one —
+  /// and because the clamp applies identically in unsharded runs, delay
+  /// chaos cannot make a sharded run diverge from its sequential twin.
+  Duration min_propagation_delay = Duration::zero();
   std::size_t queue_capacity_bytes = 2 * 1024 * 1024;
   double random_loss_rate = 0.0;  ///< per-datagram iid loss probability
   std::optional<PolicerConfig> udp_policer;
@@ -71,9 +79,18 @@ struct LinkStats {
 
 class Link {
  public:
-  using DeliverFn = std::function<void(const Datagram&)>;
+  /// Hands a datagram that finished serialising to the owner (Network) for
+  /// delivery at absolute time `at` with delivery key `key`. The link never
+  /// schedules the arrival itself: in a sharded world the arrival may belong
+  /// to another shard's simulator, and only the Network knows the routing.
+  using ScheduleDeliveryFn =
+      std::function<void(TimePoint at, std::uint64_t key, const Datagram&)>;
 
-  Link(sim::Simulator& sim, LinkConfig config, DeliverFn deliver, Rng rng);
+  /// `key_base` is sim::delivery_key_base(src, dst) for this directed link;
+  /// the link ORs its monotone send counter into it so every delivery
+  /// carries a unique, layout-invariant ordering key.
+  Link(sim::Simulator& sim, LinkConfig config, std::uint64_t key_base,
+       ScheduleDeliveryFn schedule_delivery, Rng rng);
 
   /// Offers a datagram to the link; may drop (down, policer, loss, queue
   /// overflow), corrupt, or duplicate it.
@@ -85,8 +102,12 @@ class Link {
 
   /// Runtime re-configuration hooks for experiments that vary the
   /// environment mid-run (e.g. RTT step changes for learner adaptivity)
-  /// and for the chaos harness.
-  void set_propagation_delay(Duration d) { config_.propagation_delay = d; }
+  /// and for the chaos harness. Delay changes clamp to the configured
+  /// min_propagation_delay floor in every mode, so the sharded engine's
+  /// lookahead contract survives chaos.
+  void set_propagation_delay(Duration d) {
+    config_.propagation_delay = std::max(d, config_.min_propagation_delay);
+  }
   void set_random_loss_rate(double p) { config_.random_loss_rate = p; }
   void set_duplicate_rate(double p) { config_.duplicate_rate = p; }
   void set_corrupt_rate(double p) { config_.corrupt_rate = p; }
@@ -108,9 +129,11 @@ class Link {
 
   sim::Simulator& sim_;
   LinkConfig config_;
-  DeliverFn deliver_;
+  std::uint64_t key_base_;
+  ScheduleDeliveryFn schedule_delivery_;
   Rng rng_;
   LinkStats stats_;
+  std::uint64_t send_counter_ = 0;  ///< per-delivery key counter
 
   std::deque<Datagram> queue_;
   std::size_t queued_bytes_ = 0;

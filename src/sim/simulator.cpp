@@ -12,6 +12,15 @@ EventHandle Simulator::schedule_at(TimePoint at, SmallFn fn) {
   return EventHandle{slots_, slot, gen};
 }
 
+EventHandle Simulator::schedule_at_keyed(TimePoint at, std::uint64_t key,
+                                         SmallFn fn) {
+  if (at < now_) at = now_;
+  const std::uint32_t slot = slots_->acquire();
+  const std::uint32_t gen = slots_->slots[slot].gen;
+  wheel_.schedule(at.as_nanos(), key, slot, gen, std::move(fn));
+  return EventHandle{slots_, slot, gen};
+}
+
 bool Simulator::step() {
   for (Wheel::Node* node = wheel_.pop(); node != nullptr;
        node = wheel_.pop()) {
@@ -67,8 +76,42 @@ std::uint64_t Simulator::run_until(TimePoint until) {
   return n;
 }
 
-TimePoint Simulator::next_event_time() const {
-  return TimePoint::from_nanos(wheel_.next_at());
+std::uint64_t Simulator::run_before(TimePoint bound) {
+  std::uint64_t n = 0;
+  // peek() surfaces the true head; cancelled heads are reclaimed in place so
+  // the horizon scan never spins on dead events.
+  while (Wheel::Node* node = wheel_.peek()) {
+    if (slots_->is_cancelled(node->slot, node->gen)) {
+      wheel_.pop();
+      slots_->release(node->slot);
+      wheel_.recycle(node);
+      continue;
+    }
+    if (node->at >= bound.as_nanos()) break;
+    wheel_.pop();
+    now_ = TimePoint::from_nanos(node->at);
+    auto fn = std::move(node->payload);
+    slots_->release(node->slot);
+    wheel_.recycle(node);
+    ++executed_;
+    ++n;
+    fn();
+  }
+  return n;
+}
+
+TimePoint Simulator::next_event_time() {
+  while (Wheel::Node* node = wheel_.peek()) {
+    if (!slots_->is_cancelled(node->slot, node->gen)) {
+      return TimePoint::from_nanos(node->at);
+    }
+    // Dead head: reclaim it so the reported bound is exact, not the
+    // conservative-early time of a lazily-cancelled event.
+    wheel_.pop();
+    slots_->release(node->slot);
+    wheel_.recycle(node);
+  }
+  return TimePoint::max();
 }
 
 }  // namespace kmsg::sim

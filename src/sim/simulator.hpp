@@ -26,6 +26,51 @@
 
 namespace kmsg::sim {
 
+// --- Event ordering keys ----------------------------------------------------
+//
+// Within one simulator, same-instant events fire in ascending key order. Two
+// key bands exist:
+//
+//  - band 0 (top bit clear): locally scheduled events. The key is the
+//    simulator's monotone scheduling counter, so locals fire in scheduling
+//    order — the classic sequential contract.
+//  - band 1 (top bit set): message deliveries. The key encodes
+//    (source lane, destination lane, per-link send counter), all of which
+//    depend only on the *sender's* deterministic execution — never on how
+//    simulators happen to interleave. Deliveries therefore sort identically
+//    whether they were scheduled locally or handed across a shard boundary,
+//    which is the keystone of the sharded engine's bit-identical-parity
+//    guarantee (see sharded.hpp and DESIGN.md §9).
+//
+// At equal (time, band), band 0 < band 1: local work at an instant runs
+// before deliveries arriving at that instant, in every shard layout.
+
+/// Band bit distinguishing delivery keys from local scheduling counters.
+inline constexpr std::uint64_t kDeliveryBand = std::uint64_t{1} << 63;
+/// Bits reserved for the per-link send counter inside a delivery key.
+inline constexpr int kDeliveryCounterBits = 23;
+inline constexpr std::uint64_t kDeliveryCounterMask =
+    (std::uint64_t{1} << kDeliveryCounterBits) - 1;
+
+/// Composes a band-1 delivery key: (src lane, dst lane, send counter).
+/// Lanes are 20-bit entity ids (host ids in netsim); the counter is the
+/// sender-side per-link monotone send count, so keys from one link are
+/// unique and ordered by send order.
+constexpr std::uint64_t delivery_key(std::uint32_t src_lane,
+                                     std::uint32_t dst_lane,
+                                     std::uint64_t counter) {
+  return kDeliveryBand |
+         (static_cast<std::uint64_t>(src_lane & 0xFFFFF) << 43) |
+         (static_cast<std::uint64_t>(dst_lane & 0xFFFFF) << 23) |
+         (counter & kDeliveryCounterMask);
+}
+
+/// The (src, dst) part of a delivery key; a link ORs in its send counter.
+constexpr std::uint64_t delivery_key_base(std::uint32_t src_lane,
+                                          std::uint32_t dst_lane) {
+  return delivery_key(src_lane, dst_lane, 0);
+}
+
 namespace detail {
 
 /// One slot per in-flight event. The generation counter disambiguates
@@ -119,6 +164,12 @@ class Simulator final : public Clock {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
+  /// Schedules `fn` at `at` with an explicit ordering key (see the key-band
+  /// commentary above). Same-instant events fire in ascending key order;
+  /// plain schedule_at uses the band-0 scheduling counter. (at, key) must be
+  /// unique per simulator — delivery_key() guarantees this for band 1.
+  EventHandle schedule_at_keyed(TimePoint at, std::uint64_t key, SmallFn fn);
+
   /// Cancels a scheduled event by slot-table coordinates (the by-value
   /// equivalent of EventHandle::cancel, used by kompics::TimerHandle).
   void cancel(std::uint32_t slot, std::uint32_t gen) {
@@ -133,6 +184,12 @@ class Simulator final : public Clock {
   /// `until` even when the queue empties earlier. Returns events executed.
   std::uint64_t run_until(TimePoint until);
 
+  /// Runs events with time strictly < bound, leaving the clock at the last
+  /// executed event (never force-advanced). This is the sharded engine's
+  /// horizon-bounded step: events at exactly `bound` may still be affected
+  /// by incoming cross-shard deliveries and must not fire yet.
+  std::uint64_t run_before(TimePoint bound);
+
   /// Executes the single next event, if any. Returns false when idle.
   bool step();
 
@@ -140,10 +197,11 @@ class Simulator final : public Clock {
   std::size_t pending() const { return wheel_.size(); }
   std::uint64_t executed() const { return executed_; }
 
-  /// Time of the next scheduled event; TimePoint::max() when idle.
-  /// Lazily-cancelled events may make this a conservative (early) bound —
-  /// run_until skips them without executing anything.
-  TimePoint next_event_time() const;
+  /// Time of the next *live* scheduled event; TimePoint::max() when idle.
+  /// Lazily-cancelled events are skipped (and reclaimed) rather than
+  /// reported, so horizon exchange in the sharded engine never stalls on a
+  /// dead event. Non-const because the scan drops cancelled heads.
+  TimePoint next_event_time();
 
  private:
   using Wheel = TimingWheel<SmallFn>;

@@ -21,6 +21,10 @@ REQUIRED_BENCHMARKS = [
     "BM_FrameDecode",
     "BM_MessageSerializeRoundTrip",
     "BM_SimulatorEventThroughput",
+    "BM_ShardedSimThroughput/1",
+    "BM_ShardedSimThroughput/2",
+    "BM_ShardedSimThroughput/4",
+    "BM_ShardedSimThroughput/8",
     "BM_KompicsEventDispatch",
 ]
 REQUIRED_FIELDS = ["name", "real_time", "cpu_time", "time_unit", "iterations"]

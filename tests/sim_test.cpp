@@ -120,6 +120,59 @@ TEST(SimulatorTest, NextEventTime) {
   EXPECT_EQ(sim.next_event_time().as_nanos(), Duration::millis(7).as_nanos());
 }
 
+TEST(SimulatorTest, NextEventTimeSkipsLazilyCancelledHeads) {
+  // Regression: next_event_time() used to report the time of a cancelled
+  // head event, which would freeze a sharded run's horizon exchange on a
+  // dead event. It must skip (and reclaim) cancelled heads and report the
+  // first *live* event.
+  Simulator sim;
+  auto early = sim.schedule_after(Duration::millis(1), [] {});
+  auto mid = sim.schedule_after(Duration::millis(3), [] {});
+  sim.schedule_after(Duration::millis(5), [] {});
+  early.cancel();
+  mid.cancel();
+  EXPECT_EQ(sim.next_event_time().as_nanos(), Duration::millis(5).as_nanos());
+  // The cancelled heads were reclaimed, not just skipped.
+  EXPECT_EQ(sim.pending(), 1u);
+
+  // All-cancelled queue reports idle time.
+  auto last = sim.schedule_after(Duration::millis(2), [] {});
+  (void)last;
+  sim.run();
+  auto only = sim.schedule_after(Duration::millis(9), [] {});
+  only.cancel();
+  EXPECT_EQ(sim.next_event_time(), TimePoint::max());
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, RunBeforeExcludesBoundAndKeepsClock) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint::from_nanos(10), [&] { order.push_back(10); });
+  sim.schedule_at(TimePoint::from_nanos(20), [&] { order.push_back(20); });
+  sim.schedule_at(TimePoint::from_nanos(30), [&] { order.push_back(30); });
+  EXPECT_EQ(sim.run_before(TimePoint::from_nanos(20)), 1u);
+  EXPECT_EQ(order, (std::vector<int>{10}));
+  // The clock sits at the last executed event — never force-advanced to the
+  // bound, so a later cross-shard arrival at t=15 would still be in the
+  // future from this simulator's point of view.
+  EXPECT_EQ(sim.now().as_nanos(), 10);
+  EXPECT_EQ(sim.run_before(TimePoint::from_nanos(31)), 2u);
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(SimulatorTest, KeyedSchedulingOrdersSameInstantEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  const TimePoint t = TimePoint::from_nanos(50);
+  sim.schedule_at_keyed(t, delivery_key(9, 1, 2), [&] { order.push_back(92); });
+  sim.schedule_at_keyed(t, delivery_key(4, 1, 0), [&] { order.push_back(40); });
+  sim.schedule_at(t, [&] { order.push_back(0); });  // band 0 wins the instant
+  sim.schedule_at_keyed(t, delivery_key(4, 1, 1), [&] { order.push_back(41); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 40, 41, 92}));
+}
+
 TEST(SimulatorTest, ManyEventsStressDeterminism) {
   auto run = [] {
     Simulator sim;

@@ -1,0 +1,203 @@
+// Randomised-seed checks on the large-topology generators, and an
+// independent cross-check of the sharded engine's lookahead derivation: the
+// per-shard-pair lookahead Network::finalize_shards() installs must equal a
+// brute-force recomputation over the spec's links.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "netsim/topology.hpp"
+#include "sim/sharded.hpp"
+
+namespace {
+
+using kmsg::Duration;
+using kmsg::netsim::FatTreeConfig;
+using kmsg::netsim::HostId;
+using kmsg::netsim::Network;
+using kmsg::netsim::StarOfRegionsConfig;
+using kmsg::netsim::TopologySpec;
+using kmsg::netsim::WanMeshConfig;
+using kmsg::sim::ShardedSimulator;
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3, 17, 99, 1234, 888888};
+
+void check_common_invariants(const TopologySpec& spec) {
+  ASSERT_GT(spec.host_count(), 0u);
+  EXPECT_TRUE(kmsg::netsim::topology_connected(spec)) << spec.name;
+  for (const unsigned r : spec.region_of) {
+    EXPECT_LT(r, spec.regions);
+  }
+  std::set<std::pair<HostId, HostId>> seen;
+  for (const auto& l : spec.links) {
+    EXPECT_LT(l.a, spec.host_count());
+    EXPECT_LT(l.b, spec.host_count());
+    EXPECT_NE(l.a, l.b);
+    // No duplicate duplex pairs (they would silently replace each other in
+    // the Network link map).
+    const auto key = std::minmax(l.a, l.b);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second)
+        << spec.name << ": duplicate link " << l.a << "<->" << l.b;
+    // Every generated link must carry a positive lookahead floor at or
+    // below its base delay (the floor is what the sharded engine trusts).
+    EXPECT_GT(l.config.min_propagation_delay, Duration::zero());
+    EXPECT_LE(l.config.min_propagation_delay, l.config.propagation_delay);
+    if (l.config_ba) {
+      EXPECT_GT(l.config_ba->min_propagation_delay, Duration::zero());
+      EXPECT_LE(l.config_ba->min_propagation_delay,
+                l.config_ba->propagation_delay);
+    }
+  }
+}
+
+TEST(TopologyGen, StarOfRegionsInvariants) {
+  StarOfRegionsConfig cfg;
+  cfg.regions = 6;
+  cfg.hosts_per_region = 5;
+  for (const auto seed : kSeeds) {
+    const TopologySpec spec = kmsg::netsim::make_star_of_regions(cfg, seed);
+    check_common_invariants(spec);
+    EXPECT_EQ(spec.host_count(), 30u);
+    EXPECT_EQ(spec.regions, 6u);
+    // Clique links per region + one WAN spoke per non-hub region.
+    EXPECT_EQ(spec.links.size(), 6u * (5 * 4 / 2) + 5u);
+    for (const auto& l : spec.links) {
+      const bool intra = spec.region_of[l.a] == spec.region_of[l.b];
+      const Duration d = l.config.propagation_delay;
+      if (intra) {
+        EXPECT_GE(d, cfg.lan_delay_min);
+        EXPECT_LE(d, cfg.lan_delay_max);
+      } else {
+        EXPECT_GE(d, cfg.wan_delay_min);
+        EXPECT_LE(d, cfg.wan_delay_max);
+      }
+    }
+  }
+}
+
+TEST(TopologyGen, FatTreeInvariants) {
+  FatTreeConfig cfg;
+  cfg.pods = 4;
+  cfg.racks_per_pod = 3;
+  cfg.hosts_per_rack = 4;
+  for (const auto seed : kSeeds) {
+    const TopologySpec spec = kmsg::netsim::make_fat_tree(cfg, seed);
+    check_common_invariants(spec);
+    EXPECT_EQ(spec.host_count(), 4u * (1 + 3 * 4));
+    EXPECT_EQ(spec.regions, 4u);
+    // Rack cliques + rack uplinks + core mesh between the 4 pod spines.
+    EXPECT_EQ(spec.links.size(), 4u * 3u * (4 * 3 / 2) + 4u * 3u + 6u);
+  }
+}
+
+TEST(TopologyGen, WanMeshSymmetryKnob) {
+  WanMeshConfig cfg;
+  cfg.regions = 5;
+  cfg.hosts_per_region = 3;
+  for (const auto seed : kSeeds) {
+    cfg.symmetric_delays = true;
+    const TopologySpec sym = kmsg::netsim::make_wan_mesh(cfg, seed);
+    check_common_invariants(sym);
+    for (const auto& l : sym.links) {
+      EXPECT_FALSE(l.config_ba.has_value())
+          << "symmetric mesh must share one config per duplex pair";
+    }
+
+    cfg.symmetric_delays = false;
+    const TopologySpec asym = kmsg::netsim::make_wan_mesh(cfg, seed);
+    check_common_invariants(asym);
+    bool saw_asymmetric = false;
+    for (const auto& l : asym.links) {
+      if (l.config_ba &&
+          l.config_ba->propagation_delay != l.config.propagation_delay) {
+        saw_asymmetric = true;
+      }
+    }
+    EXPECT_TRUE(saw_asymmetric) << "seed " << seed;
+  }
+}
+
+TEST(TopologyGen, DistinctSeedsDistinctDelays) {
+  StarOfRegionsConfig cfg;
+  const TopologySpec a = kmsg::netsim::make_star_of_regions(cfg, 1);
+  const TopologySpec b = kmsg::netsim::make_star_of_regions(cfg, 2);
+  ASSERT_EQ(a.links.size(), b.links.size());
+  bool differs = false;
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    if (a.links[i].config.propagation_delay !=
+        b.links[i].config.propagation_delay) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+  // Same seed: bit-identical spec.
+  const TopologySpec a2 = kmsg::netsim::make_star_of_regions(cfg, 1);
+  ASSERT_EQ(a.links.size(), a2.links.size());
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    EXPECT_EQ(a.links[i].config.propagation_delay,
+              a2.links[i].config.propagation_delay);
+  }
+}
+
+TEST(TopologyGen, LookaheadMatchesBruteForce) {
+  for (const auto seed : {std::uint64_t{5}, std::uint64_t{6}, std::uint64_t{7}}) {
+    std::vector<TopologySpec> specs;
+    specs.push_back(
+        kmsg::netsim::make_star_of_regions(StarOfRegionsConfig{}, seed));
+    specs.push_back(kmsg::netsim::make_fat_tree(FatTreeConfig{}, seed));
+    specs.push_back(kmsg::netsim::make_wan_mesh(WanMeshConfig{}, seed));
+    for (const auto& spec : specs) {
+      for (const unsigned shards : {2u, 4u, 8u}) {
+        ShardedSimulator ssim(shards);
+        Network net(ssim, seed);
+        kmsg::netsim::build_topology(spec, net);
+        net.finalize_shards();
+        for (unsigned from = 0; from < shards; ++from) {
+          for (unsigned to = 0; to < shards; ++to) {
+            if (from == to) continue;
+            const Duration expect = kmsg::netsim::brute_force_lookahead(
+                spec, shards, from, to);
+            EXPECT_EQ(ssim.lookahead(from, to).as_nanos(), expect.as_nanos())
+                << spec.name << " shards=" << shards << " " << from << "->"
+                << to;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TopologyGen, BuildPinsRegionsToShards) {
+  StarOfRegionsConfig cfg;
+  cfg.regions = 6;
+  cfg.hosts_per_region = 2;
+  const TopologySpec spec = kmsg::netsim::make_star_of_regions(cfg, 3);
+  ShardedSimulator ssim(4);
+  Network net(ssim, 3);
+  const auto ids = kmsg::netsim::build_topology(spec, net);
+  ASSERT_EQ(ids.size(), spec.host_count());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(net.shard_of(ids[i]), spec.region_of[i] % 4);
+  }
+  // Hosts of one region always share a shard, so intra-region links never
+  // cross a shard boundary (and need no floor at run time).
+  for (const auto& l : spec.links) {
+    if (spec.region_of[l.a] == spec.region_of[l.b]) {
+      EXPECT_EQ(net.shard_of(ids[l.a]), net.shard_of(ids[l.b]));
+    }
+  }
+}
+
+TEST(TopologyGen, FinalizeRejectsFloorlessCrossShardLink) {
+  ShardedSimulator ssim(2);
+  Network net(ssim, 1);
+  const auto a = net.add_host(0).id();
+  const auto b = net.add_host(1).id();
+  kmsg::netsim::LinkConfig cfg;  // zero min_propagation_delay
+  net.add_duplex_link(a, b, cfg);
+  EXPECT_THROW(net.finalize_shards(), std::logic_error);
+}
+
+}  // namespace
