@@ -10,8 +10,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
 #include <new>
+#include <string>
+#include <vector>
 
 #include "adaptive/prp.hpp"
 #include "adaptive/psp.hpp"
@@ -302,6 +306,115 @@ void BM_KompicsEventDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_KompicsEventDispatch);
+
+// --- Multi-core dispatch on the work-stealing runtime -----------------------
+// W token rings of kRingSize relay components on a W-worker pool, fixed total
+// hop count per iteration. Shard-local variant pins each ring to one worker
+// (private mailboxes, plain refcounts, intrusive run queue); the cross-shard
+// variant stripes each ring's nodes across workers so every hop goes through
+// the escalated path (atomic refcounts, batched public-mailbox handoff).
+// One op == one hop. Main blocks on a condvar while the pool runs, so
+// process_cpu_time is the workers' dispatch cost, not a spin loop.
+struct TokenEv final : kompics::KompicsEvent {};
+struct RingPort : kompics::PortType {
+  RingPort() { indication<TokenEv>(); }
+};
+
+struct RingSync {
+  std::mutex m;
+  std::condition_variable cv;
+  int done = 0;
+  void ring_done() {
+    std::lock_guard<std::mutex> lock(m);
+    ++done;
+    cv.notify_one();
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lock(m);
+    done = 0;
+  }
+  void wait_for(int n) {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return done >= n; });
+  }
+};
+
+class RingNode final : public kompics::ComponentDefinition {
+ public:
+  explicit RingNode(RingSync* sync) : sync_(sync) {}
+  void setup() override {
+    out_ = &provides<RingPort>();
+    in_ = &require<RingPort>();
+    subscribe<TokenEv>(*in_, [this](const TokenEv&) {
+      if (sync_ != nullptr && --laps_ <= 0) {  // head node: lap accounting
+        sync_->ring_done();
+        return;  // drop the token: iteration over for this ring
+      }
+      trigger(kompics::make_event<TokenEv>(), *out_);
+    });
+  }
+  kompics::PortInstance& out() { return *out_; }
+  kompics::PortInstance& in() { return *in_; }
+  void arm(int laps) { laps_ = laps; }
+  void inject() { trigger(kompics::make_event<TokenEv>(), *out_); }
+
+ private:
+  RingSync* sync_;
+  int laps_ = 0;
+  kompics::PortInstance* out_ = nullptr;
+  kompics::PortInstance* in_ = nullptr;
+};
+
+void bm_multicore_dispatch(benchmark::State& state, bool cross_shard) {
+  AllocScope allocs(state);
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  constexpr int kRingSize = 4;
+  constexpr int kTotalHops = 32768;
+  const int laps_per_ring =
+      kTotalHops / kRingSize / static_cast<int>(workers);
+  RingSync sync;
+  kompics::KompicsSystem sys(workers);
+  std::vector<std::vector<RingNode*>> rings(workers);
+  for (std::uint32_t r = 0; r < workers; ++r) {
+    for (int i = 0; i < kRingSize; ++i) {
+      auto& node = sys.create<RingNode>(
+          "ring" + std::to_string(r) + "_n" + std::to_string(i),
+          i == 0 ? &sync : nullptr);
+      // Pin before connect: placement decides local vs escalated mode.
+      sys.pin_home(node, cross_shard ? (r + static_cast<std::uint32_t>(i)) %
+                                           workers
+                                     : r);
+      rings[r].push_back(&node);
+    }
+    for (int i = 0; i < kRingSize; ++i) {
+      sys.connect(rings[r][static_cast<std::size_t>(i)]->out(),
+                  rings[r][static_cast<std::size_t>((i + 1) % kRingSize)]->in());
+    }
+  }
+  for (auto _ : state) {
+    sync.reset();
+    for (auto& ring : rings) ring[0]->arm(laps_per_ring);
+    for (auto& ring : rings) ring[0]->inject();
+    sync.wait_for(static_cast<int>(workers));
+  }
+  state.SetItemsProcessed(state.iterations() * kTotalHops);
+  sys.shutdown();
+}
+
+void BM_MultiCoreDispatch(benchmark::State& state) {
+  bm_multicore_dispatch(state, /*cross_shard=*/false);
+}
+void BM_MultiCoreDispatchCross(benchmark::State& state) {
+  bm_multicore_dispatch(state, /*cross_shard=*/true);
+}
+BENCHMARK(BM_MultiCoreDispatch)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+BENCHMARK(BM_MultiCoreDispatchCross)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 void BM_PayloadGeneration(benchmark::State& state) {
   AllocScope allocs(state);

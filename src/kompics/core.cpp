@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "kompics/scheduler.hpp"
 #include "kompics/system.hpp"
 
 namespace kmsg::kompics {
@@ -13,6 +14,22 @@ namespace kmsg::kompics {
 namespace {
 
 constexpr std::uint8_t kMailboxNodeClass = 0;  // 32-byte class
+
+using detail::MailboxNode;
+
+MailboxNode* make_node(PortInstance* at, EventPtr ev) {
+  static_assert(sizeof(MailboxNode) <= EventArena::kClassBytes[kMailboxNodeClass]);
+  void* block = EventArena::acquire(sizeof(MailboxNode), kMailboxNodeClass);
+  auto* node = ::new (block) MailboxNode;
+  node->at = at;
+  node->ev = std::move(ev);
+  return node;
+}
+
+void free_node(MailboxNode* node) {
+  node->~MailboxNode();
+  EventArena::release(node, kMailboxNodeClass);
+}
 
 }  // namespace
 
@@ -173,16 +190,32 @@ const Clock& ComponentDefinition::clock() const {
 
 ComponentCore::ComponentCore(KompicsSystem& system, std::string name)
     : system_(system), name_(std::move(name)) {
+  uf_parent_ = this;
+  uf_members_.push_back(this);
   control_ = &port(port_type<ControlPort>(), true);
 }
 
 ComponentCore::~ComponentCore() {
-  // Release events still sitting in the mailbox (normal shutdown leaves the
-  // queue drained; chaos/teardown paths may not).
-  for (MailboxNode* n = mailbox_pop(); n != nullptr; n = mailbox_pop()) {
-    n->~MailboxNode();
-    EventArena::release(n, kMailboxNodeClass);
+  // Release events still sitting in the mailboxes (normal shutdown leaves
+  // the queues drained; chaos/teardown paths may not).
+  for (MailboxNode* n = mailbox_pop_private(); n != nullptr;
+       n = mailbox_pop_private()) {
+    free_node(n);
   }
+  for (MailboxNode* n = mailbox_pop_public(); n != nullptr;
+       n = mailbox_pop_public()) {
+    free_node(n);
+  }
+}
+
+void ComponentCore::adopt_child(ComponentCore* child) {
+  children_.push_back(child);
+  child->has_parent_ = true;
+  // Children inherit the parent's home shard (the Kompics vnode pattern:
+  // a subtree is one placement unit), and the parent-child edge joins the
+  // escalation cluster — lifecycle events flow through it.
+  child->home_ = home_;
+  system_.link_cores_(this, child);
 }
 
 void ComponentCore::adopt(std::unique_ptr<ComponentDefinition> def) {
@@ -202,26 +235,49 @@ PortInstance& ComponentCore::port(const PortType& type, bool provided) {
   return *p;
 }
 
-void ComponentCore::mailbox_push(MailboxNode* n) {
-  n->next.store(nullptr, std::memory_order_relaxed);
-  if (!detail::mt_active()) {
-    // Simulation mode: everything runs on one thread, so the push is plain
-    // pointer swizzling (no lock-prefixed RMW on the hot path).
-    MailboxNode* prev = mailbox_head_.load(std::memory_order_relaxed);
-    mailbox_head_.store(n, std::memory_order_relaxed);
-    prev->next.store(n, std::memory_order_relaxed);
-    return;
+void ComponentCore::mailbox_push_private(MailboxNode* n) {
+  // Plain pointer swizzling: callers guarantee thread confinement (the
+  // simulation driver, or the core's home worker while the core is local).
+  // n->next was zeroed at construction.
+  if (priv_tail_ != nullptr) {
+    priv_tail_->next.store(n, std::memory_order_relaxed);
+  } else {
+    priv_head_ = n;
   }
+  priv_tail_ = n;
+}
+
+detail::MailboxNode* ComponentCore::mailbox_pop_private() {
+  MailboxNode* n = priv_head_;
+  if (n == nullptr) return nullptr;
+  priv_head_ = n->next.load(std::memory_order_relaxed);
+  if (priv_head_ == nullptr) priv_tail_ = nullptr;
+  return n;
+}
+
+void ComponentCore::mailbox_push_public(MailboxNode* n) {
+  n->next.store(nullptr, std::memory_order_relaxed);
   // seq_cst so the wakeup protocol can reason about this push relative to
   // the scheduled_ flag (see enqueue/execute).
   MailboxNode* prev = mailbox_head_.exchange(n, std::memory_order_seq_cst);
   // Between the exchange and this store the queue is momentarily split;
-  // mailbox_pop detects that window (tail == head, next == nullptr) and
-  // reports empty, which the scheduled_ protocol turns into a re-schedule.
+  // mailbox_pop_public detects that window (tail == head, next == nullptr)
+  // and reports empty, which the scheduled_ protocol turns into a
+  // re-schedule.
   prev->next.store(n, std::memory_order_release);
 }
 
-ComponentCore::MailboxNode* ComponentCore::mailbox_pop() {
+void ComponentCore::mailbox_push_chain(MailboxNode* first, MailboxNode* last) {
+  // The chain was linked thread-locally (relaxed stores) by the producer's
+  // outbox; the release store on prev->next publishes every interior link
+  // and payload to the consumer in one edge. One exchange per burst instead
+  // of one per event is the whole point of the batched handoff.
+  last->next.store(nullptr, std::memory_order_relaxed);
+  MailboxNode* prev = mailbox_head_.exchange(last, std::memory_order_seq_cst);
+  prev->next.store(first, std::memory_order_release);
+}
+
+detail::MailboxNode* ComponentCore::mailbox_pop_public() {
   MailboxNode* tail = mailbox_tail_;
   MailboxNode* next = tail->next.load(std::memory_order_acquire);
   if (tail == &stub_) {
@@ -238,7 +294,7 @@ ComponentCore::MailboxNode* ComponentCore::mailbox_pop() {
     return nullptr;  // producer mid-push; caller re-checks mailbox_nonempty
   }
   // Single element left: cycle the stub back in so `tail` can be detached.
-  mailbox_push(&stub_);
+  mailbox_push_public(&stub_);
   next = tail->next.load(std::memory_order_acquire);
   if (next != nullptr) {
     mailbox_tail_ = next;
@@ -247,12 +303,14 @@ ComponentCore::MailboxNode* ComponentCore::mailbox_pop() {
   return nullptr;
 }
 
-// Consumer-side emptiness peek. tail_ always points at the stub or at a
-// still-pending node, so the queue is empty exactly when the tail is the
-// stub with no successor and no producer has exchanged the head away. The
-// seq_cst loads order this check after execute()'s scheduled_ store, which
-// closes the lost-wakeup window (see the protocol note in enqueue).
+// Consumer-side emptiness peek over both mailboxes. The public tail always
+// points at the stub or at a still-pending node, so that queue is empty
+// exactly when the tail is the stub with no successor and no producer has
+// exchanged the head away. The seq_cst loads order this check after
+// execute()'s scheduled_ store, which closes the lost-wakeup window (see the
+// protocol note in enqueue).
 bool ComponentCore::mailbox_nonempty() {
+  if (priv_head_ != nullptr) return true;
   MailboxNode* tail = mailbox_tail_;
   if (tail != &stub_) return true;
   if (tail->next.load(std::memory_order_seq_cst) != nullptr) return true;
@@ -260,13 +318,38 @@ bool ComponentCore::mailbox_nonempty() {
 }
 
 void ComponentCore::enqueue(PortInstance* at, EventPtr ev) {
-  static_assert(sizeof(MailboxNode) <=
-                EventArena::kClassBytes[kMailboxNodeClass]);
-  void* block = EventArena::acquire(sizeof(MailboxNode), kMailboxNodeClass);
-  auto* node = ::new (block) MailboxNode;
-  node->at = at;
-  node->ev = std::move(ev);
-  mailbox_push(node);
+  MailboxNode* node = make_node(at, std::move(ev));
+  if (pool_ == nullptr) {
+    // Simulation-backed system: single-threaded by contract, so the push
+    // and the scheduled_ flag are plain stores — no RMW on the hot path.
+    mailbox_push_private(node);
+    if (!scheduled_.load(std::memory_order_relaxed)) {
+      scheduled_.store(true, std::memory_order_relaxed);
+      system_.scheduler().schedule(this);
+    }
+    return;
+  }
+  detail::WorkerContext* ctx = detail::t_worker;
+  if (ctx != nullptr && ctx->pool == pool_) {
+    if (!shared_.load(std::memory_order_relaxed) && home_ == ctx->index) {
+      // Local-mode core on its home worker: plain FIFO push. The closure
+      // invariant (DESIGN.md §10) guarantees every producer for a local
+      // core runs on this thread.
+      mailbox_push_private(node);
+      if (!scheduled_.load(std::memory_order_seq_cst) &&
+          !scheduled_.exchange(true, std::memory_order_seq_cst)) {
+        system_.scheduler().schedule(this);
+      }
+      return;
+    }
+    // Cross-core publish from a pool worker: chain thread-locally in the
+    // worker's outbox; the scheduler splices the whole burst into the
+    // destination with one exchange after this core's execute() finishes.
+    if (ctx->outbox_append(this, node)) return;
+    // Outbox fan-out exhausted: fall through to a direct push.
+  }
+  // External producer (main thread, timer thread, another system's worker).
+  mailbox_push_public(node);
   // Wakeup protocol: if scheduled_ is already set, the execute() run that
   // owns it either pops our node or — after clearing the flag — re-checks
   // mailbox_nonempty() with seq_cst loads ordered after our (seq_cst) push,
@@ -282,14 +365,14 @@ void ComponentCore::execute() {
   const std::size_t max_events = system_.max_events_per_scheduling();
   std::size_t processed = 0;
   while (processed < max_events) {
-    MailboxNode* node = mailbox_pop();
+    MailboxNode* node = mailbox_pop_private();
+    if (node == nullptr) node = mailbox_pop_public();
     if (node == nullptr) break;
     ++processed;
     ++events_handled_;
     PortInstance* at = node->at;
     EventPtr ev = std::move(node->ev);
-    node->~MailboxNode();
-    EventArena::release(node, kMailboxNodeClass);
+    free_node(node);
     at->dispatch(ev);
     // Lifecycle cascade: Start/Stop/Kill on the control port propagate down
     // the component hierarchy after the local handlers ran.
@@ -313,6 +396,15 @@ void ComponentCore::execute() {
     // Budget exhausted with work left: stay marked scheduled and go to the
     // back of the scheduler's FIFO (fairness).
     system_.scheduler().schedule(this);
+    return;
+  }
+  if (pool_ == nullptr) {
+    // Single-threaded contract: no concurrent producer to race the flag.
+    scheduled_.store(false, std::memory_order_relaxed);
+    if (mailbox_nonempty()) {
+      scheduled_.store(true, std::memory_order_relaxed);
+      system_.scheduler().schedule(this);
+    }
     return;
   }
   scheduled_.store(false, std::memory_order_seq_cst);

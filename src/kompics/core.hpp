@@ -45,6 +45,25 @@ class ComponentCore;
 class Channel;
 class KompicsSystem;
 class PortInstance;
+class ThreadPoolScheduler;
+
+namespace detail {
+
+/// Intrusive mailbox node, carved from the EventArena (32-byte class).
+/// Shared between a component's private FIFO (plain pointer swizzling on the
+/// home thread) and its public Vyukov MPSC queue (atomic exchange), and
+/// chained thread-locally in the scheduler's outbox for batched cross-core
+/// handoff — one node type so an event never changes representation on its
+/// way into a mailbox.
+struct MailboxNode {
+  std::atomic<MailboxNode*> next{nullptr};
+  PortInstance* at = nullptr;
+  EventPtr ev;
+};
+
+struct WorkerContext;  // scheduler.hpp: TLS identity of a pool worker
+
+}  // namespace detail
 
 // --- Handlers ---
 
@@ -286,11 +305,10 @@ class ComponentCore {
   /// (multi-producer): safe from any thread and from timer callbacks.
   void enqueue(PortInstance* at, EventPtr ev);
 
-  /// Registers a child core for lifecycle cascading.
-  void adopt_child(ComponentCore* child) {
-    children_.push_back(child);
-    child->has_parent_ = true;
-  }
+  /// Registers a child core for lifecycle cascading. The child inherits this
+  /// component's home worker (shard-affine placement) and joins its channel
+  /// cluster for the local→shared escalation bookkeeping.
+  void adopt_child(ComponentCore* child);
   const std::vector<ComponentCore*>& children() const { return children_; }
   /// True for non-root components (they start via their parent's cascade).
   bool has_parent() const { return has_parent_; }
@@ -301,16 +319,27 @@ class ComponentCore {
 
   std::uint64_t events_handled() const { return events_handled_; }
 
- private:
-  /// Intrusive mailbox node, carved from the EventArena (32-byte class).
-  struct MailboxNode {
-    std::atomic<MailboxNode*> next{nullptr};
-    PortInstance* at = nullptr;
-    EventPtr ev;
-  };
+  /// Home worker index (thread-pool mode; 0 under simulation).
+  std::uint32_t home() const { return home_; }
+  /// True once the component's channel cluster spans workers (or was
+  /// explicitly migrated): refcounts/mailbox use the atomic paths. Monotone
+  /// local→shared; see DESIGN.md §10.
+  bool is_shared() const { return shared_.load(std::memory_order_relaxed); }
 
-  void mailbox_push(MailboxNode* n);
-  MailboxNode* mailbox_pop();
+ private:
+  friend class KompicsSystem;
+  friend class ThreadPoolScheduler;
+  friend struct detail::WorkerContext;
+
+  // Private-FIFO ops: plain pointer swizzling, home/executing thread only.
+  void mailbox_push_private(detail::MailboxNode* n);
+  detail::MailboxNode* mailbox_pop_private();
+  // Public-queue ops: Vyukov MPSC, any thread.
+  void mailbox_push_public(detail::MailboxNode* n);
+  /// Splices a pre-linked FIFO chain [first..last] into the public queue
+  /// with a single exchange — the batched cross-core handoff.
+  void mailbox_push_chain(detail::MailboxNode* first, detail::MailboxNode* last);
+  detail::MailboxNode* mailbox_pop_public();
   bool mailbox_nonempty();
 
   KompicsSystem& system_;
@@ -320,11 +349,32 @@ class ComponentCore {
   std::map<std::pair<const PortType*, bool>, PortInstance*> port_index_;
   PortInstance* control_ = nullptr;
 
-  // Vyukov intrusive MPSC queue: producers exchange on head_, the (single)
-  // consumer walks tail_. stub_ never carries a payload.
-  MailboxNode stub_;
-  std::atomic<MailboxNode*> mailbox_head_{&stub_};
-  MailboxNode* mailbox_tail_ = &stub_;
+  // Home-shard placement (set by KompicsSystem before the component is wired;
+  // null pool_ for simulation-backed systems).
+  ThreadPoolScheduler* pool_ = nullptr;
+  std::uint32_t home_ = 0;
+  std::atomic<bool> shared_{false};
+
+  // Intrusive link for the scheduler's per-worker local FIFO and the global
+  // overflow queue. Only ever touched while the core sits in exactly one
+  // queue (the scheduled_ protocol guarantees that).
+  ComponentCore* sched_next_ = nullptr;
+
+  // Union-find over connect() and parent-child edges, maintained by
+  // KompicsSystem; uf_members_ is only meaningful at the cluster root.
+  ComponentCore* uf_parent_ = nullptr;
+  std::vector<ComponentCore*> uf_members_;
+
+  // Private mailbox: plain FIFO touched only by the thread the core is
+  // confined to (the simulation driver, or a local-mode core's home worker).
+  detail::MailboxNode* priv_head_ = nullptr;
+  detail::MailboxNode* priv_tail_ = nullptr;
+
+  // Public mailbox: Vyukov intrusive MPSC queue — producers exchange on
+  // head_, the (single) consumer walks tail_. stub_ never carries a payload.
+  detail::MailboxNode stub_;
+  std::atomic<detail::MailboxNode*> mailbox_head_{&stub_};
+  detail::MailboxNode* mailbox_tail_ = &stub_;
   std::atomic<bool> scheduled_{false};
 
   std::uint64_t events_handled_ = 0;

@@ -60,6 +60,36 @@ inline bool mt_active() noexcept {
   return g_mt_schedulers.load(std::memory_order_relaxed) != 0;
 }
 
+/// True while the current thread is provably the only one touching the
+/// events it handles, even though a thread pool is live elsewhere in the
+/// process. Set by the work-stealing scheduler around the execution of a
+/// *local-mode* component (home-pinned, never stolen, whole channel cluster
+/// on one worker — see DESIGN.md §10) and by the simulation scheduler around
+/// component execution (a simulation is driven from one thread by contract).
+/// While set, event refcounts keep the plain load/store path — the
+/// per-core replacement for the old global "any pool exists → everything
+/// atomic" switch. Mis-clearing it is always safe (atomic ops on a
+/// thread-confined counter are merely slower); setting it is only legal
+/// under the thread-confinement invariant above.
+inline thread_local bool t_plain_refs = false;
+
+/// Plain (non-atomic) refcount traffic allowed right now?
+inline bool refs_plain() noexcept { return !mt_active() || t_plain_refs; }
+
+/// RAII scope for t_plain_refs (saves/restores, so nesting works).
+class ScopedPlainRefs {
+ public:
+  explicit ScopedPlainRefs(bool plain) noexcept : saved_(t_plain_refs) {
+    t_plain_refs = plain;
+  }
+  ScopedPlainRefs(const ScopedPlainRefs&) = delete;
+  ScopedPlainRefs& operator=(const ScopedPlainRefs&) = delete;
+  ~ScopedPlainRefs() { t_plain_refs = saved_; }
+
+ private:
+  bool saved_;
+};
+
 }  // namespace detail
 
 /// Dense per-process id for event type E, assigned on first use (never 0).
@@ -91,8 +121,15 @@ struct KompicsEvent {
   template <typename E, typename... Args>
   friend EventRef<E> make_event(Args&&... args);
 
+  // The plain branch is taken whenever the current thread provably owns all
+  // references it can reach (detail::refs_plain): simulation mode, or a
+  // local-mode component cluster executing on its home worker. Mixing plain
+  // and atomic operations on the same counter is sound because the plain
+  // ones are only ever sequenced on a single thread at a time, with
+  // happens-before edges (scheduler queues, mailbox handoff) separating the
+  // regimes.
   void add_ref_() const noexcept {
-    if (detail::mt_active()) {
+    if (!detail::refs_plain()) {
       refs_.fetch_add(1, std::memory_order_relaxed);
     } else {
       refs_.store(refs_.load(std::memory_order_relaxed) + 1,
@@ -100,7 +137,7 @@ struct KompicsEvent {
     }
   }
   void release_() const noexcept {
-    if (detail::mt_active()) {
+    if (!detail::refs_plain()) {
       if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) destroy_();
     } else {
       const std::uint32_t r = refs_.load(std::memory_order_relaxed) - 1;

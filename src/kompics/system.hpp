@@ -55,6 +55,8 @@ class KompicsSystem {
 
   /// Creates a component from its definition type; returns the definition
   /// for port access. The component is passive until start() is called.
+  /// Thread-pool mode: root components are placed round-robin across
+  /// workers; children created via create_child inherit the parent's home.
   template <typename C, typename... Args>
   C& create(std::string name, Args&&... args) {
     static_assert(std::is_base_of_v<ComponentDefinition, C>);
@@ -62,6 +64,7 @@ class KompicsSystem {
     auto def = std::make_unique<C>(std::forward<Args>(args)...);
     C& ref = *def;
     core->adopt(std::move(def));
+    place_core_(core.get());
     cores_.push_back(std::move(core));
     ref.setup();
     return ref;
@@ -90,12 +93,41 @@ class KompicsSystem {
   }
   std::size_t component_count() const { return cores_.size(); }
 
+  /// Worker threads backing this system (1 in simulation mode).
+  std::size_t worker_count() const;
+
+  /// Pins a component's whole channel cluster to one worker (shard-affine
+  /// placement). Must be called before the cluster is started — placement
+  /// must not race execution. No-op in simulation mode.
+  void pin_home(ComponentDefinition& def, std::uint32_t worker);
+
+  /// Observability for placement decisions (tests, diagnostics).
+  std::uint32_t home_of(const ComponentDefinition& def) const {
+    return def.core_->home();
+  }
+  bool is_shared(const ComponentDefinition& def) const {
+    return def.core_->is_shared();
+  }
+
   /// Stops scheduler threads (thread-pool mode); simulation mode is a no-op.
   void shutdown();
 
  private:
+  friend class ComponentCore;
+
+  void place_core_(ComponentCore* core);
+  /// Union-find over connect()/parent-child edges: merges the two cores'
+  /// clusters and escalates the merged cluster to shared (atomic) mode when
+  /// it spans workers or either side already escalated. Escalation is
+  /// monotone; callers must not mutate topology concurrently with execution
+  /// of the affected cores (DESIGN.md §10).
+  void link_cores_(ComponentCore* a, ComponentCore* b);
+  static ComponentCore* uf_find_(ComponentCore* c);
+
   SystemSettings settings_;
   std::unique_ptr<Scheduler> scheduler_;
+  ThreadPoolScheduler* pool_ = nullptr;  // null for simulation-backed systems
+  std::uint32_t next_home_ = 0;
   std::vector<std::unique_ptr<ComponentCore>> cores_;
   std::vector<std::unique_ptr<Channel>> channels_;
   Config config_;

@@ -13,8 +13,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <new>
+#include <thread>
 #include <vector>
 
 #include "kompics/system.hpp"
@@ -172,6 +174,123 @@ TEST(ArenaTest, DispatchSteadyStateIsAllocationFree) {
   EXPECT_EQ(allocs, 0u) << "dispatch hot path allocated " << allocs
                         << " times for 1000 events";
   EXPECT_EQ(cons.received, 4 * 1000);
+}
+
+TEST(ArenaTest, DispatchStaysAllocationFreeWhilePoolAlive) {
+  // A live ThreadPoolScheduler flips detail::mt_active() for the whole
+  // process. The per-thread local-path gate (detail::refs_plain, DESIGN.md
+  // §10) must keep simulation dispatch on the exact same path — same
+  // refcount branch, same freelists, still zero allocations. The pool is
+  // idle, so its parked workers contribute no background allocations to the
+  // counter.
+  KompicsSystem pool_sys(2);
+  sim::Simulator sim;
+  KompicsSystem sys(sim);
+  auto& prod = sys.create<Producer>("p");
+  auto& cons = sys.create<Consumer>("c");
+  sys.connect(prod.port(), cons.port());
+
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 1000; ++i) prod.emit(i);
+    sim.run();
+  }
+  cons.last.reset();
+
+  const std::uint64_t allocs_before = g_allocs.load();
+  for (int i = 0; i < 1000; ++i) prod.emit(i);
+  sim.run();
+  cons.last.reset();
+  const std::uint64_t allocs = g_allocs.load() - allocs_before;
+  EXPECT_EQ(allocs, 0u) << "sim dispatch allocated " << allocs
+                        << " times for 1000 events while a pool was alive";
+  EXPECT_EQ(cons.received, 4 * 1000);
+  pool_sys.shutdown();
+}
+
+struct BounceEvent final : KompicsEvent {
+  explicit BounceEvent(int v) : value(v) {}
+  int value;
+};
+
+struct BouncePort : PortType {
+  BouncePort() {
+    indication<ProbeEvent>();
+    request<BounceEvent>();
+  }
+};
+
+class Echo final : public ComponentDefinition {
+ public:
+  void setup() override {
+    port_ = &provides<BouncePort>();
+    subscribe<BounceEvent>(*port_, [this](const BounceEvent& b) {
+      trigger(make_event<ProbeEvent>(b.value), *port_);
+    });
+  }
+  PortInstance& port() { return *port_; }
+
+ private:
+  PortInstance* port_ = nullptr;
+};
+
+class Bouncer final : public ComponentDefinition {
+ public:
+  void setup() override {
+    port_ = &require<BouncePort>();
+    subscribe<ProbeEvent>(*port_, [this](const ProbeEvent&) {
+      if (--remaining_ > 0) {
+        trigger(make_event<BounceEvent>(0), *port_);
+      } else {
+        done.store(true, std::memory_order_release);
+      }
+    });
+  }
+  PortInstance& port() { return *port_; }
+  /// Main-thread kick: one external enqueue, then the ring self-sustains on
+  /// the home worker until `rounds` echoes complete.
+  void run_rounds(int rounds) {
+    remaining_ = rounds;
+    done.store(false, std::memory_order_relaxed);
+    trigger(make_event<BounceEvent>(0), *port_);
+  }
+  std::atomic<bool> done{false};
+
+ private:
+  int remaining_ = 0;
+  PortInstance* port_ = nullptr;
+};
+
+TEST(ArenaTest, PoolLocalDispatchSteadyStateIsAllocationFree) {
+  // The work-stealing runtime's *local* path (home-pinned cluster: private
+  // plain mailbox, intrusive run queue, plain refcounts under the
+  // refs_plain gate) must be as allocation-free as the simulation path.
+  using namespace std::chrono_literals;
+  KompicsSystem sys(2);
+  auto& echo = sys.create<Echo>("echo");
+  auto& drv = sys.create<Bouncer>("drv");
+  sys.pin_home(echo, 0);
+  sys.pin_home(drv, 0);
+  sys.connect(echo.port(), drv.port());
+  ASSERT_FALSE(sys.is_shared(drv));
+
+  auto wait_done = [&drv] {
+    const auto deadline = std::chrono::steady_clock::now() + 60s;
+    while (!drv.done.load(std::memory_order_acquire)) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+      std::this_thread::sleep_for(1ms);
+    }
+  };
+
+  drv.run_rounds(2000);  // warm-up: arena freelists, inbox deque block
+  wait_done();
+
+  const std::uint64_t allocs_before = g_allocs.load();
+  drv.run_rounds(2000);
+  wait_done();
+  const std::uint64_t allocs = g_allocs.load() - allocs_before;
+  EXPECT_EQ(allocs, 0u) << "pool-local dispatch allocated " << allocs
+                        << " times for 2000 echo rounds";
+  sys.shutdown();
 }
 
 }  // namespace

@@ -26,6 +26,17 @@ REQUIRED_BENCHMARKS = [
     "BM_ShardedSimThroughput/4",
     "BM_ShardedSimThroughput/8",
     "BM_KompicsEventDispatch",
+    # Work-stealing runtime: shard-local rings (plain/local path) and
+    # cross-shard rings (escalated path). UseRealTime+MeasureProcessCPUTime
+    # stamp the name suffixes.
+    "BM_MultiCoreDispatch/1/process_time/real_time",
+    "BM_MultiCoreDispatch/2/process_time/real_time",
+    "BM_MultiCoreDispatch/4/process_time/real_time",
+    "BM_MultiCoreDispatch/8/process_time/real_time",
+    "BM_MultiCoreDispatchCross/1/process_time/real_time",
+    "BM_MultiCoreDispatchCross/2/process_time/real_time",
+    "BM_MultiCoreDispatchCross/4/process_time/real_time",
+    "BM_MultiCoreDispatchCross/8/process_time/real_time",
 ]
 REQUIRED_FIELDS = ["name", "real_time", "cpu_time", "time_unit", "iterations"]
 REQUIRED_COUNTERS = ["allocs_per_op", "alloc_bytes_per_op"]

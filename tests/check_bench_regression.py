@@ -31,19 +31,40 @@ def load(path):
 
 
 def ns_per_op(doc):
-    """Returns {benchmark name: ns/op} from either JSON shape."""
+    """Returns {benchmark name: {metric: ns/op, ...}} from either JSON shape.
+
+    Metrics are "real_time" and (when present) "cpu_time". A curated entry
+    may also set "gate_metric": "cpu_time" — used for multi-threaded
+    benchmarks on small hosts, where wall-clock is dominated by kernel
+    scheduling noise while CPU time per op is stable and enforceable.
+    """
     benches = doc.get("benchmarks")
     out = {}
     if isinstance(benches, list):  # raw google-benchmark output
         for b in benches:
-            name, t = b.get("name"), b.get("real_time")
-            if name is not None and isinstance(t, (int, float)) and t > 0:
-                out[name] = float(t)
+            name = b.get("name")
+            if name is None:
+                continue
+            entry = {}
+            for metric in ("real_time", "cpu_time"):
+                t = b.get(metric)
+                if isinstance(t, (int, float)) and t > 0:
+                    entry[metric] = float(t)
+            if entry:
+                out[name] = entry
     elif isinstance(benches, dict):  # curated trajectory format
-        for name, entry in benches.items():
-            t = entry.get("after_ns_per_op")
+        for name, e in benches.items():
+            entry = {}
+            t = e.get("after_ns_per_op")
             if isinstance(t, (int, float)) and t > 0:
-                out[name] = float(t)
+                entry["real_time"] = float(t)
+            t = e.get("after_cpu_ns_per_op")
+            if isinstance(t, (int, float)) and t > 0:
+                entry["cpu_time"] = float(t)
+            if e.get("gate_metric") in ("real_time", "cpu_time"):
+                entry["gate_metric"] = e["gate_metric"]
+            if entry:
+                out[name] = entry
     return out
 
 
@@ -80,13 +101,20 @@ def main():
     soft = is_soft(fresh_doc)
     regressions = []
     for name in sorted(set(fresh) & set(base)):
-        delta_pct = (fresh[name] / base[name] - 1.0) * 100.0
+        # The baseline entry picks the gated metric (default wall-clock).
+        metric = base[name].get("gate_metric", "real_time")
+        b = base[name].get(metric)
+        f = fresh[name].get(metric)
+        if b is None or f is None:
+            print(f"{name}: metric '{metric}' missing on one side, skipped")
+            continue
+        delta_pct = (f / b - 1.0) * 100.0
         marker = ""
         if delta_pct > args.threshold:
             regressions.append((name, delta_pct))
             marker = "  <-- REGRESSION" if not soft else "  <-- regression (soft)"
-        print(f"{name}: {base[name]:.1f} -> {fresh[name]:.1f} ns/op "
-              f"({delta_pct:+.1f}%){marker}")
+        tag = " (cpu)" if metric == "cpu_time" else ""
+        print(f"{name}: {b:.1f} -> {f:.1f} ns/op{tag} ({delta_pct:+.1f}%){marker}")
     for name in sorted(set(base) - set(fresh)):
         print(f"{name}: missing from fresh run (no current number)")
     for name in sorted(set(fresh) - set(base)):

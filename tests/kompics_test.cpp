@@ -56,11 +56,15 @@ class Consumer final : public ComponentDefinition {
     port_ = &require<CounterPort>();
     subscribe<NumberEvent>(*port_, [this](const NumberEvent& n) {
       numbers.push_back(n.value);
+      // Release so a thread that observed the count may read `numbers`
+      // (thread-pool tests poll delivered from the main thread).
+      delivered.store(numbers.size(), std::memory_order_release);
     });
   }
   PortInstance& port() { return *port_; }
   void send_command(int v) { trigger(make_event<CommandEvent>(v), *port_); }
   std::vector<int> numbers;
+  std::atomic<std::size_t> delivered{0};
 
  private:
   PortInstance* port_ = nullptr;
@@ -421,11 +425,13 @@ TEST(ThreadPoolTest, ComponentsExecuteAndCommunicate) {
   auto& cons = sys.create<Consumer>("cons");
   sys.connect(prod.port(), cons.port());
   for (int i = 0; i < 1000; ++i) prod.emit(i);
-  // Busy-wait with timeout for asynchronous delivery.
+  // Busy-wait with timeout for asynchronous delivery (acquire pairs with
+  // the handler's release store, making `numbers` safe to read).
   for (int spin = 0; spin < 2000; ++spin) {
-    if (cons.numbers.size() == 1000) break;
+    if (cons.delivered.load(std::memory_order_acquire) == 1000) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+  ASSERT_EQ(cons.delivered.load(std::memory_order_acquire), 1000u);
   ASSERT_EQ(cons.numbers.size(), 1000u);
   for (int i = 0; i < 1000; ++i) EXPECT_EQ(cons.numbers[static_cast<std::size_t>(i)], i);
   sys.shutdown();
