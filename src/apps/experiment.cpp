@@ -65,4 +65,25 @@ kompics::Channel& TwoNodeExperiment::connect_timer(
 
 void TwoNodeExperiment::start() { system_->start_all(); }
 
+void TwoNodeExperiment::crash_b() {
+  // Order matters: the host stops routing first (nothing the dying component
+  // emits during teardown escapes onto the wire), then the process is killed
+  // so its subtree tears down and its port bindings free up.
+  world_->net.host(world_->receiver).crash();
+  system_->kill(*net_b_);
+}
+
+void TwoNodeExperiment::recover_b() {
+  auto& host_b = world_->net.host(world_->receiver);
+  host_b.recover();
+  ++b_restarts_;
+  messaging::NetworkConfig cfg_b = config_.net;
+  cfg_b.self = addr_b_;
+  net_b_ = &system_->create<messaging::NetworkComponent>(
+      "network@" + addr_b_.to_string() + "#inc" +
+          std::to_string(host_b.incarnation()),
+      host_b, cfg_b, registry_);
+  system_->start(*net_b_);
+}
+
 }  // namespace kmsg::apps

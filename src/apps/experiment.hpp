@@ -67,6 +67,20 @@ class TwoNodeExperiment {
   /// Starts all components (idempotent per component set).
   void start();
 
+  /// Simulates the start of a process crash on node B: the host drops all
+  /// traffic (netsim::Host::crash()) and node B's network component is
+  /// killed, releasing its listeners, sessions, and timers. Application
+  /// components the test created on B are its own to kill. Pair with
+  /// recover_b().
+  void crash_b();
+  /// Completes a crash-recovery of node B: the host comes back with a fresh
+  /// incarnation and a brand-new network component binds the same address.
+  /// Consumers previously wired via connect_b are attached to the dead
+  /// stack — call connect_b again for the reborn one.
+  void recover_b();
+  /// How many times node B has been restarted via crash_b/recover_b.
+  std::uint64_t b_restarts() const { return b_restarts_; }
+
   void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
   void run_until_idle() { sim_.run(); }
 
@@ -83,6 +97,7 @@ class TwoNodeExperiment {
   adaptive::DataInterceptor* interceptor_ = nullptr;
   kompics::PortInstance* port_a_ = nullptr;
   kompics::TimerComponent* timer_ = nullptr;
+  std::uint64_t b_restarts_ = 0;
 };
 
 }  // namespace kmsg::apps

@@ -44,6 +44,10 @@ void DataSource::setup() {
           });
     }
   });
+  subscribe<messaging::PeerRestarted>(
+      *net_, [this](const messaging::PeerRestarted& pr) {
+        on_peer_restarted(pr);
+      });
   subscribe<TransferCompleteMsg>(*net_, [this](const TransferCompleteMsg& done) {
     if (done.transfer_id() != config_.transfer_id || finished_) return;
     finished_ = true;
@@ -56,6 +60,25 @@ void DataSource::setup() {
 
 void DataSource::start_transfer() {
   started_at_ = clock().now();
+  pump();
+}
+
+void DataSource::on_peer_restarted(const messaging::PeerRestarted& pr) {
+  if (!pr.peer.same_host_as(config_.dst) || finished_) return;
+  ++restarts_observed_;
+  KMSG_WARN("data-source") << "sink restarted (incarnation "
+                           << pr.old_incarnation << " -> "
+                           << pr.new_incarnation << "), rewinding transfer "
+                           << config_.transfer_id;
+  // The sink's per-transfer byte counts died with its old process, so a
+  // partial transfer can never complete against the new incarnation. Chunks
+  // are synthesised from (offset, len), so rewinding costs nothing: restart
+  // from offset 0 and let the new sink count a fresh, complete stream.
+  next_offset_ = 0;
+  sent_all_ = false;
+  inflight_ = 0;
+  pending_notifies_.clear();
+  retry_queue_.clear();
   pump();
 }
 

@@ -56,6 +56,8 @@ class DataSource final : public kompics::ComponentDefinition {
   std::uint64_t bytes_sent() const { return next_offset_; }
   std::uint64_t bytes_accepted() const { return bytes_accepted_; }
   bool finished() const { return finished_; }
+  /// How many PeerRestarted notifications forced a transfer rewind.
+  std::uint64_t restarts_observed() const { return restarts_observed_; }
   Duration elapsed() const;
 
  private:
@@ -73,6 +75,7 @@ class DataSource final : public kompics::ComponentDefinition {
   void pump();
   void send_chunk();
   void send_chunk_ref(const ChunkRef& ref);
+  void on_peer_restarted(const messaging::PeerRestarted& pr);
 
   DataSourceConfig config_;
   kompics::PortInstance* net_ = nullptr;
@@ -81,6 +84,7 @@ class DataSource final : public kompics::ComponentDefinition {
   std::size_t inflight_ = 0;
   bool sent_all_ = false;
   bool finished_ = false;
+  std::uint64_t restarts_observed_ = 0;
   TimePoint started_at_;
   TimePoint finished_at_;
   std::map<messaging::NotifyId, ChunkRef> pending_notifies_;

@@ -1,0 +1,34 @@
+// Decorrelated-jitter backoff.
+//
+// Exponential backoff with a shared base keeps retrying clients in lockstep:
+// after a crash-recovery every peer re-dials (or retransmits to) the reborn
+// node at the same instants, and the synchronized bursts themselves look like
+// congestion. Decorrelated jitter (the AWS Architecture Blog variant) breaks
+// the lockstep: each step draws uniformly from [base, prev * 3] and the draw
+// itself becomes the next step's `prev`, so independent streams spread out
+// while still growing roughly exponentially up to the cap.
+//
+// The helper is pure over an explicit Rng so callers stay deterministic per
+// seed — the jitter decorrelates *nodes* (distinct seeds), not *runs*.
+#pragma once
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace kmsg {
+
+/// One decorrelated-jitter step: uniform in [base, max(base, prev * 3)],
+/// capped at `cap`. Pass the previously returned delay as `prev`
+/// (Duration::zero() for the first attempt, which then yields exactly
+/// `base`-to-`base` — i.e. `base`).
+inline Duration decorrelated_backoff(Rng& rng, Duration base, Duration cap,
+                                     Duration prev) {
+  const double base_s = base.as_seconds();
+  const double hi = std::max(base_s, prev.as_seconds() * 3.0);
+  const double drawn = base_s + rng.next_double() * (hi - base_s);
+  return Duration::seconds(std::min(drawn, cap.as_seconds()));
+}
+
+}  // namespace kmsg

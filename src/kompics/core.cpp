@@ -162,6 +162,10 @@ const std::string& ComponentDefinition::name() const { return core_->name(); }
 
 PortInstance& ComponentDefinition::control() { return core_->control_port(); }
 
+void ComponentDefinition::supervise(SupervisorPolicy policy) {
+  core_->set_supervisor_policy(policy);
+}
+
 void ComponentDefinition::trigger(EventPtr ev, PortInstance& port) {
   if (port.owner() != core_) {
     throw std::logic_error("trigger: port does not belong to this component");
@@ -211,6 +215,7 @@ ComponentCore::~ComponentCore() {
 void ComponentCore::adopt_child(ComponentCore* child) {
   children_.push_back(child);
   child->has_parent_ = true;
+  child->parent_ = this;
   // Children inherit the parent's home shard (the Kompics vnode pattern:
   // a subtree is one placement unit), and the parent-child edge joins the
   // escalation cluster — lifecycle events flow through it.
@@ -318,6 +323,12 @@ bool ComponentCore::mailbox_nonempty() {
 }
 
 void ComponentCore::enqueue(PortInstance* at, EventPtr ev) {
+  if (dead_.load(std::memory_order_acquire)) {
+    // Tombstoned core: drop the event here instead of queueing it forever.
+    // (A producer racing finalize_kill_ may still slip a node in; execute's
+    // kDead sweep or the destructor reclaims it.)
+    return;
+  }
   MailboxNode* node = make_node(at, std::move(ev));
   if (pool_ == nullptr) {
     // Simulation-backed system: single-threaded by contract, so the push
@@ -369,28 +380,42 @@ void ComponentCore::execute() {
     if (node == nullptr) node = mailbox_pop_public();
     if (node == nullptr) break;
     ++processed;
-    ++events_handled_;
     PortInstance* at = node->at;
     EventPtr ev = std::move(node->ev);
     free_node(node);
-    at->dispatch(ev);
-    // Lifecycle cascade: Start/Stop/Kill on the control port propagate down
-    // the component hierarchy after the local handlers ran.
-    if (at == control_ && !children_.empty()) {
-      const std::uint16_t tid = ev->event_type();
-      const bool lifecycle =
-          tid != kEventTypeUnknown
-              ? (tid == event_type_id<Start>() || tid == event_type_id<Stop>() ||
-                 tid == event_type_id<Kill>())
-              : (dynamic_cast<const Start*>(ev.get()) != nullptr ||
-                 dynamic_cast<const Stop*>(ev.get()) != nullptr ||
-                 dynamic_cast<const Kill*>(ev.get()) != nullptr);
-      if (lifecycle) {
-        for (ComponentCore* child : children_) {
-          child->enqueue(&child->control_port(), ev);
-        }
+    if (state_ == LifeState::kDead) continue;  // tombstone: reclaim and skip
+    const std::uint16_t tid = ev->event_type();
+    if (at == control_) {
+      // Runtime-internal supervision events: never reach user handlers.
+      if (tid == event_type_id<detail::ChildFault>()) {
+        on_child_fault_(static_cast<const detail::ChildFault&>(*ev).child);
+        continue;
       }
+      if (tid == event_type_id<detail::ChildKilled>()) {
+        on_child_killed_();
+        continue;
+      }
+    } else if (state_ == LifeState::kFailed) {
+      // Quarantined after a fault: only control traffic (a supervisor's
+      // Stop/Start/Kill) gets through until the component is restarted.
+      continue;
     }
+    ++events_handled_;
+    bool faulted = false;
+    try {
+      at->dispatch(ev);
+    } catch (const std::exception& e) {
+      faulted = true;
+      KMSG_WARN("kompics") << name_ << ": handler fault: " << e.what();
+    } catch (...) {
+      faulted = true;
+      KMSG_WARN("kompics") << name_ << ": handler fault (non-std exception)";
+    }
+    // Lifecycle bookkeeping + cascade: Start/Stop/Kill on the control port
+    // propagate down the hierarchy after the local handlers ran.
+    if (at == control_) handle_control_(ev, tid);
+    if (faulted) on_fault_();
+    if (state_ == LifeState::kDead) break;  // finalized while handling Kill
   }
   if (processed == max_events && mailbox_nonempty()) {
     // Budget exhausted with work left: stay marked scheduled and go to the
@@ -414,6 +439,153 @@ void ComponentCore::execute() {
       !scheduled_.exchange(true, std::memory_order_seq_cst)) {
     system_.scheduler().schedule(this);
   }
+}
+
+// --- Supervision (all methods below run on the core's own execution) ---
+
+void ComponentCore::handle_control_(const EventPtr& ev, std::uint16_t tid) {
+  enum class Kind { kNone, kStart, kStop, kKill };
+  Kind kind = Kind::kNone;
+  if (tid != kEventTypeUnknown) {
+    if (tid == event_type_id<Start>()) kind = Kind::kStart;
+    else if (tid == event_type_id<Stop>()) kind = Kind::kStop;
+    else if (tid == event_type_id<Kill>()) kind = Kind::kKill;
+  } else {
+    if (dynamic_cast<const Start*>(ev.get()) != nullptr) kind = Kind::kStart;
+    else if (dynamic_cast<const Stop*>(ev.get()) != nullptr) kind = Kind::kStop;
+    else if (dynamic_cast<const Kill*>(ev.get()) != nullptr) kind = Kind::kKill;
+  }
+  switch (kind) {
+    case Kind::kNone:
+      return;
+    case Kind::kStart:
+    case Kind::kStop:
+      for (ComponentCore* child : children_) {
+        child->enqueue(&child->control_port(), ev);
+      }
+      // Start is also the restart path out of quarantine: a supervisor's
+      // Stop/Start pair normalizes a kFailed subtree back to kActive.
+      state_ = kind == Kind::kStart ? LifeState::kActive : LifeState::kPassive;
+      return;
+    case Kind::kKill:
+      begin_kill_(ev);
+      return;
+  }
+}
+
+void ComponentCore::begin_kill_(const EventPtr& ev) {
+  if (kill_requested_) return;  // duplicate Kill while teardown is running
+  kill_requested_ = true;
+  // Two-phase post-order teardown: the local Kill handlers already ran
+  // (user cleanup); now cascade Kill to every live child and wait for their
+  // ChildKilled acks before finalizing. Children are killed in creation
+  // order, so teardown order is deterministic under the simulation.
+  pending_child_kills_ = 0;
+  for (ComponentCore* child : children_) {
+    if (child->is_dead()) continue;
+    ++pending_child_kills_;
+    child->enqueue(&child->control_port(), ev);
+  }
+  if (pending_child_kills_ == 0) finalize_kill_();
+}
+
+void ComponentCore::on_child_killed_() {
+  if (!kill_requested_) return;  // ack from an escalation kill; nothing to do
+  if (pending_child_kills_ > 0 && --pending_child_kills_ == 0) {
+    finalize_kill_();
+  }
+}
+
+void ComponentCore::finalize_kill_() {
+  // Publish the terminal notification while the port machinery is still
+  // live: subscribers on the control port observe children's Killed before
+  // their parent's (post-order).
+  control_->publish(make_event<Killed>());
+  state_ = LifeState::kDead;
+  dead_.store(true, std::memory_order_release);
+  // Reclaim both mailboxes now — every queued arena node and the event
+  // references it holds are released at kill time, not at system teardown.
+  for (MailboxNode* n = mailbox_pop_private(); n != nullptr;
+       n = mailbox_pop_private()) {
+    free_node(n);
+  }
+  for (MailboxNode* n = mailbox_pop_public(); n != nullptr;
+       n = mailbox_pop_public()) {
+    free_node(n);
+  }
+  if (parent_ != nullptr && !parent_->is_dead()) {
+    parent_->enqueue(&parent_->control_port(),
+                     make_event<detail::ChildKilled>(this));
+  }
+  KMSG_DEBUG("kompics") << name_ << ": killed";
+}
+
+void ComponentCore::on_fault_() {
+  if (state_ == LifeState::kDead) return;
+  ++faults_;
+  state_ = LifeState::kFailed;
+  escalate_or_die_();
+}
+
+void ComponentCore::escalate_or_die_() {
+  if (parent_ != nullptr && !parent_->is_dead()) {
+    parent_->enqueue(&parent_->control_port(),
+                     make_event<detail::ChildFault>(this));
+    return;
+  }
+  // Unsupervised root fault: terminal — tear the subtree down cleanly.
+  KMSG_WARN("kompics") << name_ << ": unsupervised fault, killing subtree";
+  enqueue(control_, make_event<Kill>());
+}
+
+void ComponentCore::on_child_fault_(ComponentCore* child) {
+  if (state_ == LifeState::kDead || kill_requested_) return;
+  if (!supervises_) {
+    // Not a supervisor: the subtree below this component is now suspect.
+    // Quarantine and pass the fault up, attributed to this component, so a
+    // supervising ancestor restarts (or kills) a consistent unit.
+    ++escalations_;
+    state_ = LifeState::kFailed;
+    escalate_or_die_();
+    return;
+  }
+  const TimePoint now = system_.clock().now();
+  const TimePoint horizon = now - policy_.restart_window;
+  restart_times_.erase(
+      std::remove_if(restart_times_.begin(), restart_times_.end(),
+                     [horizon](TimePoint t) { return t < horizon; }),
+      restart_times_.end());
+  if (restart_times_.size() >= policy_.max_restarts) {
+    // Restart budget exhausted: kill the faulted child's subtree and
+    // escalate the fault to the grandparent (or log at a root supervisor).
+    ++escalations_;
+    child->enqueue(&child->control_port(), make_event<Kill>());
+    if (parent_ != nullptr && !parent_->is_dead()) {
+      state_ = LifeState::kFailed;
+      parent_->enqueue(&parent_->control_port(),
+                       make_event<detail::ChildFault>(this));
+    } else {
+      KMSG_WARN("kompics") << name_ << ": restart budget exhausted, killed "
+                           << child->name();
+    }
+    return;
+  }
+  restart_times_.push_back(now);
+  ++restarts_issued_;
+  if (policy_.restart == RestartPolicy::kOneForOne) {
+    restart_target_(child);
+  } else {
+    for (ComponentCore* c : children_) {
+      if (!c->is_dead()) restart_target_(c);
+    }
+  }
+}
+
+void ComponentCore::restart_target_(ComponentCore* target) {
+  // Stop then Start: the pair cascades through the target's subtree,
+  // clearing kFailed quarantines; Start handlers re-initialize state.
+  target->enqueue(&target->control_port(), make_event<Stop>());
+  target->enqueue(&target->control_port(), make_event<Start>());
 }
 
 }  // namespace kmsg::kompics

@@ -63,7 +63,47 @@ struct MailboxNode {
 
 struct WorkerContext;  // scheduler.hpp: TLS identity of a pool worker
 
+/// Runtime-internal supervision events, enqueued directly on a parent's
+/// control port (bypassing trigger validation — they never cross a channel)
+/// and intercepted by ComponentCore::execute before user dispatch. Carrying
+/// the child pointer is safe: cores_ is append-only and killed cores are
+/// tombstoned in place, never destroyed mid-run.
+struct ChildFault final : KompicsEvent {
+  explicit ChildFault(ComponentCore* c) : child(c) {}
+  ComponentCore* child;
+};
+struct ChildKilled final : KompicsEvent {
+  explicit ChildKilled(ComponentCore* c) : child(c) {}
+  ComponentCore* child;
+};
+
 }  // namespace detail
+
+// --- Supervision ---
+
+/// Which children a supervisor restarts when one of them faults.
+enum class RestartPolicy : std::uint8_t {
+  kOneForOne,  ///< restart only the faulted child (subtree)
+  kAllForOne,  ///< restart every child (the siblings share fate)
+};
+
+/// Erlang-style restart policy a parent applies to faulted children. A fault
+/// is an exception escaping a handler; restarting a child means sending its
+/// subtree Stop then Start (the Start handler is the component's reset
+/// hook). When more than `max_restarts` faults land within `restart_window`,
+/// the supervisor gives up: the faulted child's subtree is killed and the
+/// fault escalates to the grandparent.
+struct SupervisorPolicy {
+  RestartPolicy restart = RestartPolicy::kOneForOne;
+  std::uint32_t max_restarts = 3;
+  Duration restart_window = Duration::seconds(10.0);
+};
+
+/// Component lifecycle state. kFailed quarantines a component after a
+/// handler fault — non-control events are discarded until a supervisor
+/// restarts it (Start returns it to kActive). kDead is terminal: the
+/// component's mailboxes were reclaimed and it never executes again.
+enum class LifeState : std::uint8_t { kPassive, kActive, kFailed, kDead };
 
 // --- Handlers ---
 
@@ -255,6 +295,12 @@ class ComponentDefinition {
   /// The implicit control port (handles Start/Stop/Kill).
   PortInstance& control();
 
+  /// Declares this component a supervisor of its children: faults are
+  /// absorbed and handled per `policy` (restart / escalate on exhaustion)
+  /// instead of propagating straight up. Call from setup(), before the
+  /// subtree starts.
+  void supervise(SupervisorPolicy policy);
+
   /// Publishes an event on a port, validating event direction against the
   /// port type. Thread-safe; may be called from timer callbacks.
   void trigger(EventPtr ev, PortInstance& port);
@@ -312,6 +358,26 @@ class ComponentCore {
   const std::vector<ComponentCore*>& children() const { return children_; }
   /// True for non-root components (they start via their parent's cascade).
   bool has_parent() const { return has_parent_; }
+  ComponentCore* parent() const { return parent_; }
+
+  /// Makes this component a supervisor: faulted children are restarted per
+  /// `policy` instead of escalating immediately. Attach before the subtree
+  /// starts (typically from setup(), i.e. at create() time).
+  void set_supervisor_policy(SupervisorPolicy policy) {
+    supervises_ = true;
+    policy_ = policy;
+  }
+  bool supervises() const { return supervises_; }
+
+  /// Lifecycle observability. life_state() is owned by the core's execution
+  /// thread — read it between runs / after quiescence. is_dead() is safe
+  /// from any thread (it is what enqueue consults to drop mail for
+  /// tombstoned cores).
+  LifeState life_state() const { return state_; }
+  bool is_dead() const { return dead_.load(std::memory_order_acquire); }
+  std::uint64_t faults() const { return faults_; }
+  std::uint64_t restarts_issued() const { return restarts_issued_; }
+  std::uint64_t escalations() const { return escalations_; }
 
   /// Executes up to max_events_per_scheduling queued events. Invoked by the
   /// scheduler; never concurrently for the same core.
@@ -341,6 +407,17 @@ class ComponentCore {
   void mailbox_push_chain(detail::MailboxNode* first, detail::MailboxNode* last);
   detail::MailboxNode* mailbox_pop_public();
   bool mailbox_nonempty();
+
+  // Supervision machinery (all run on the core's own execution, except where
+  // noted — see the lifecycle notes in core.cpp).
+  void handle_control_(const EventPtr& ev, std::uint16_t tid);
+  void on_fault_();
+  void on_child_fault_(ComponentCore* child);
+  void on_child_killed_();
+  void begin_kill_(const EventPtr& ev);
+  void finalize_kill_();
+  void restart_target_(ComponentCore* target);
+  void escalate_or_die_();
 
   KompicsSystem& system_;
   std::string name_;
@@ -380,6 +457,21 @@ class ComponentCore {
   std::uint64_t events_handled_ = 0;
   std::vector<ComponentCore*> children_;
   bool has_parent_ = false;
+
+  // Supervision state. state_, the restart bookkeeping and the kill
+  // counters are touched only by the core's own (never-concurrent) execute;
+  // dead_ is the cross-thread tombstone flag producers consult.
+  ComponentCore* parent_ = nullptr;
+  LifeState state_ = LifeState::kPassive;
+  std::atomic<bool> dead_{false};
+  bool supervises_ = false;
+  SupervisorPolicy policy_;
+  std::vector<TimePoint> restart_times_;  ///< restarts issued, window-pruned
+  bool kill_requested_ = false;
+  std::size_t pending_child_kills_ = 0;
+  std::uint64_t faults_ = 0;
+  std::uint64_t restarts_issued_ = 0;
+  std::uint64_t escalations_ = 0;
 };
 
 // Out-of-line template definitions (need ComponentCore).

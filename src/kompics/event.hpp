@@ -318,5 +318,9 @@ struct Stop final : KompicsEvent {};
 struct Kill final : KompicsEvent {};
 struct Started final : KompicsEvent {};
 struct Stopped final : KompicsEvent {};
+/// Published on a component's control port once its whole subtree has been
+/// torn down (post-order) and its mailboxes reclaimed — the terminal
+/// lifecycle notification. A killed component never executes again.
+struct Killed final : KompicsEvent {};
 
 }  // namespace kmsg::kompics

@@ -117,6 +117,7 @@ struct ControlPort : PortType {
     request<Kill>();
     indication<Started>();
     indication<Stopped>();
+    indication<Killed>();
   }
 };
 

@@ -124,6 +124,16 @@ void KompicsSystem::stop(ComponentDefinition& def) {
   core->enqueue(&core->control_port(), make_event<Stop>());
 }
 
+void KompicsSystem::kill(ComponentDefinition& def) {
+  auto* core = def.core_;
+  core->enqueue(&core->control_port(), make_event<Kill>());
+}
+
+void KompicsSystem::supervise(ComponentDefinition& def,
+                              SupervisorPolicy policy) {
+  def.core_->set_supervisor_policy(policy);
+}
+
 void KompicsSystem::start_all() {
   // Only roots are started directly; children start through their parent's
   // lifecycle cascade (starting a subtree's root starts the subtree).

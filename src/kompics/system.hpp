@@ -81,6 +81,18 @@ class KompicsSystem {
   void start(ComponentDefinition& def);
   /// Triggers Stop on the component's control port (cascades to children).
   void stop(ComponentDefinition& def);
+  /// Triggers Kill: the subtree is torn down post-order, mailboxes and
+  /// queued events are reclaimed, and the component publishes Killed on its
+  /// control port. Terminal — a killed component never executes again.
+  void kill(ComponentDefinition& def);
+  /// Attaches a restart policy: `def` will restart faulted children per
+  /// `policy` (and escalate when the budget is exhausted) instead of
+  /// escalating every fault. Attach before the subtree starts.
+  void supervise(ComponentDefinition& def, SupervisorPolicy policy);
+  /// Lifecycle observability (read between runs / after quiescence).
+  LifeState life_state(const ComponentDefinition& def) const {
+    return def.core_->life_state();
+  }
   /// Starts every root component created so far (children start via their
   /// parent's lifecycle cascade).
   void start_all();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/backoff.hpp"
 #include "common/logging.hpp"
 
 namespace kmsg::messaging {
@@ -14,7 +15,12 @@ NotifyId next_notify_id() {
 
 NetworkComponent::NetworkComponent(netsim::Host& host, NetworkConfig config,
                                    std::shared_ptr<SerializerRegistry> registry)
-    : host_(host), config_(config), registry_(std::move(registry)) {
+    : host_(host),
+      config_(config),
+      registry_(std::move(registry)),
+      reconnect_rng_(config.jitter_seed ^
+                     (static_cast<std::uint64_t>(config.self.host) *
+                      0x9e3779b97f4a7c15ULL)) {
   if (config_.enable_compression) {
     pipeline_.add_last(std::make_unique<wire::CompressionHandler>());
   }
@@ -46,6 +52,53 @@ void NetworkComponent::setup() {
     status_tick();
     if (config_.supervision_enabled) supervision_tick();
   });
+  // A stopped or killed process must release the simulated host's resources
+  // (port bindings, timers, connections) so a restarted incarnation can
+  // re-bind them — and so a killed subtree leaks nothing.
+  subscribe<kompics::Stop>(control(), [this](const kompics::Stop&) { teardown(); });
+  subscribe<kompics::Kill>(control(), [this](const kompics::Kill&) { teardown(); });
+}
+
+void NetworkComponent::teardown() {
+  if (!started_) return;
+  started_ = false;
+  status_cancel_.cancel();
+  supervision_cancel_.cancel();
+  // Same discipline as declare_dead: empty the maps first, abort after, so
+  // each connection's deferred on_closed teardown finds nothing to re-erase.
+  std::vector<std::shared_ptr<transport::StreamConnection>> doomed;
+  for (auto& [key, s] : sessions_) {
+    s->reconnect_timer.cancel();
+    for (auto& f : s->queue) {
+      if (f.heartbeat) continue;
+      ++stats_.msgs_dropped;
+      if (f.notify) {
+        notify_result(*f.notify, DeliveryStatus::kFailed, s->transport,
+                      f.payload_bytes);
+      }
+    }
+    ++stats_.sessions_closed;
+    if (s->conn) doomed.push_back(s->conn);
+  }
+  sessions_.clear();
+  for (auto& [addr, ps] : peers_) {
+    ps->probe_timer.cancel();
+    if (ps->probe_conn) {
+      doomed.push_back(ps->probe_conn);
+      ps->probe_conn = nullptr;
+    }
+  }
+  for (auto& in : inbound_) {
+    if (in->conn && !in->closed) doomed.push_back(in->conn);
+  }
+  tcp_listener_.reset();
+  udt_listener_.reset();
+  ledbat_listener_.reset();
+  udp_.reset();
+  // Inbound records are reaped by the aborts' deferred on_closed handlers —
+  // freeing them here would leave each connection's on_data callback with a
+  // dangling pointer while its teardown is still in flight.
+  for (auto& conn : doomed) conn->abort();
 }
 
 void NetworkComponent::start_listeners() {
@@ -290,7 +343,9 @@ void NetworkComponent::open_session(Session& s) {
     if (it == sessions_.end()) return;
     it->second->connected = true;
     it->second->reconnect_attempts = 0;
+    it->second->prev_backoff = Duration::zero();
     it->second->acked_snapshot = 0;
+    send_hello(*it->second);
     if (config_.supervision_enabled) {
       if (it->second->channel_health != PeerHealth::kHealthy) {
         emit_channel_status(peer, t, it->second->channel_health,
@@ -373,9 +428,17 @@ void NetworkComponent::on_session_closed(const Address& peer, Transport t) {
                           PeerHealth::kSuspected, HealthReason::kSuspicion,
                           peer_state(peer).phi.phi(system().clock().now()));
     }
-    const auto delay = Duration::nanos(
-        config_.session_reconnect_backoff.as_nanos()
-        << (s.reconnect_attempts - 1));
+    Duration delay;
+    if (config_.session_reconnect_jitter) {
+      delay = decorrelated_backoff(reconnect_rng_,
+                                   config_.session_reconnect_backoff,
+                                   config_.session_reconnect_backoff_cap,
+                                   s.prev_backoff);
+      s.prev_backoff = delay;
+    } else {
+      delay = Duration::nanos(config_.session_reconnect_backoff.as_nanos()
+                              << (s.reconnect_attempts - 1));
+    }
     KMSG_INFO("network") << "session to " << peer.to_string()
                          << " died with queued frames; reconnect attempt "
                          << s.reconnect_attempts << " in " << to_string(delay);
@@ -485,6 +548,23 @@ void NetworkComponent::deliver_frame(wire::BufSlice frame, Inbound* from) {
   if (!msg) {
     ++stats_.deserialize_failures;
     return;
+  }
+  if (msg->type_id() == kSessionHelloTypeId) {
+    handle_hello(static_cast<const SessionHelloMsg&>(*msg), from);
+    return;
+  }
+  if (from != nullptr && from->incarnation != 0) {
+    // Incarnation fence: a connection whose hello announced an older
+    // incarnation than the peer's newest known one belongs to the pre-crash
+    // process — anything still arriving on it is a zombie frame that was in
+    // flight when the process died. At-most-once semantics let us drop it;
+    // delivering would resurrect state the new incarnation no longer owns.
+    const auto pit = peers_.find(msg->header().source().with_vnode(0));
+    if (pit != peers_.end() &&
+        from->incarnation < pit->second->remote_incarnation) {
+      ++stats_.stale_frames_fenced;
+      return;
+    }
   }
   if (msg->type_id() == kHeartbeatTypeId) {
     handle_heartbeat(static_cast<const HeartbeatMsg&>(*msg), from);
@@ -626,6 +706,57 @@ void NetworkComponent::handle_heartbeat(const HeartbeatMsg& hb, Inbound* from) {
     // and the next ping retries.
     from->conn->write(framed.span());
     ++stats_.heartbeats_sent;
+  }
+}
+
+void NetworkComponent::send_hello(Session& s) {
+  SessionHelloMsg hello(BasicHeader(config_.self, s.peer, s.transport),
+                        host_.incarnation());
+  auto serialized = registry_->serialize(hello);
+  if (!serialized) return;
+  auto processed = pipeline_.process_outbound(std::move(*serialized));
+  auto framed = wire::encode_frame_slice(std::move(processed));
+  s.queued_bytes += framed.size();
+  // Front of the queue: the receiver must learn our incarnation before any
+  // payload, or a frame raced ahead of the hello could not be classified.
+  // The heartbeat flag exempts it from caps, stats and dead-lettering.
+  s.queue.push_front(
+      PendingFrame{std::move(framed), 0, {}, 0, /*heartbeat=*/true});
+  ++stats_.hellos_sent;
+}
+
+void NetworkComponent::handle_hello(const SessionHelloMsg& hello,
+                                    Inbound* from) {
+  ++stats_.hellos_received;
+  if (from != nullptr) from->incarnation = hello.incarnation();
+  const Address src = hello.header().source().with_vnode(0);
+  // Incarnation tracking is correctness, not supervision — it runs even with
+  // the supervision layer disabled (only the health FSM reactions are gated).
+  PeerState& ps = peer_state(src);
+  if (hello.incarnation() < ps.remote_incarnation) {
+    // A zombie connection introducing its pre-crash incarnation; every frame
+    // it carries (including this hello) is stale.
+    ++stats_.stale_frames_fenced;
+    return;
+  }
+  const std::uint64_t prev = ps.remote_incarnation;
+  ps.remote_incarnation = hello.incarnation();
+  if (prev != 0 && hello.incarnation() > prev) {
+    ++stats_.peer_restarts;
+    KMSG_INFO("network") << "peer " << src.to_string() << " restarted ("
+                         << prev << " -> " << hello.incarnation() << ")";
+    // The old process's heartbeat cadence died with it; restart the detector
+    // alongside the peer so stale statistics cannot smear the new stream.
+    ps.phi.reset(system().clock().now());
+    trigger(kompics::make_event<PeerRestarted>(src, prev, hello.incarnation()),
+            *net_port_);
+    if (config_.supervision_enabled) {
+      // Drives Dead -> Recovering and replays the dead-letter buffer to the
+      // new incarnation (record_alive's health transitions flush it).
+      record_alive(src, HealthReason::kPeerRestarted);
+    }
+  } else if (config_.supervision_enabled) {
+    record_alive(src, HealthReason::kEvidence);
   }
 }
 
@@ -777,7 +908,22 @@ void NetworkComponent::flush_dead_letters(const Address& peer, PeerState& ps) {
   std::deque<DeadLetter> letters;
   letters.swap(ps.dead_letters);
   ps.dead_letter_bytes = 0;
-  for (auto& dl : letters) {
+  for (std::size_t i = 0; i < letters.size(); ++i) {
+    // Re-check per letter: draining a flushed frame runs transport code that
+    // can collapse the very channel we are flushing into, flipping the peer
+    // back to Suspected/Dead mid-loop. Re-queueing the remainder onto a peer
+    // already known unhealthy would just bounce them straight back here (or
+    // lose them); re-park them instead and let the next recovery retry.
+    // Re-parking bypasses park_dead_letter so the letters keep their original
+    // timestamps and are not counted as buffered twice.
+    if (ps.health == PeerHealth::kDead || ps.health == PeerHealth::kSuspected) {
+      for (std::size_t j = i; j < letters.size(); ++j) {
+        ps.dead_letter_bytes += letters[j].frame.size();
+        ps.dead_letters.push_back(std::move(letters[j]));
+      }
+      return;
+    }
+    DeadLetter& dl = letters[i];
     if (now - dl.at > config_.dead_letter_ttl) {
       ++stats_.dead_letters_dropped;
       ++stats_.msgs_dropped;

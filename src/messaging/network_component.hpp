@@ -27,6 +27,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "kompics/system.hpp"
 #include "messaging/network_port.hpp"
 #include "messaging/serialization.hpp"
@@ -79,6 +80,16 @@ struct NetworkConfig {
   int session_reconnect_attempts = 3;
   /// Base delay before a reconnect attempt; doubles per consecutive failure.
   Duration session_reconnect_backoff = Duration::millis(200);
+  /// Replaces the deterministic doubling with decorrelated jitter (uniform
+  /// in [base, prev*3], capped) so peers re-dialling a recovered node do not
+  /// arrive in lockstep. Off by default: deterministic schedules keep
+  /// existing tests byte-stable; enable it for multi-node recovery runs.
+  bool session_reconnect_jitter = false;
+  /// Ceiling on the jittered reconnect delay.
+  Duration session_reconnect_backoff_cap = Duration::seconds(8.0);
+  /// Seed for the jitter stream; the component mixes in its own address so
+  /// co-simulated nodes sharing a config still decorrelate.
+  std::uint64_t jitter_seed = 0x6a697474ULL;
 
   // --- Channel supervision (peer-health FSM, heartbeats, dead letters) ---
   /// Master switch for the supervision layer: heartbeat exchange, phi
@@ -132,6 +143,11 @@ struct NetworkComponentStats {
   std::uint64_t dead_letters_buffered = 0;
   std::uint64_t dead_letters_flushed = 0;
   std::uint64_t dead_letters_dropped = 0;  ///< evicted or expired, never resent
+  // Crash-recovery (incarnation fencing).
+  std::uint64_t hellos_sent = 0;
+  std::uint64_t hellos_received = 0;
+  std::uint64_t peer_restarts = 0;         ///< hellos with a higher incarnation
+  std::uint64_t stale_frames_fenced = 0;   ///< zombie frames from old incarnations
 };
 
 class NetworkComponent final : public kompics::ComponentDefinition {
@@ -174,6 +190,7 @@ class NetworkComponent final : public kompics::ComponentDefinition {
     TimePoint last_activity = TimePoint::zero();
     int reconnect_attempts = 0;        // consecutive failures since last connect
     kompics::TimerHandle reconnect_timer; // pending re-establishment, if any
+    Duration prev_backoff = Duration::zero();  // last jittered reconnect delay
     // Supervision bookkeeping.
     PeerHealth channel_health = PeerHealth::kHealthy;  // last reported state
     std::uint64_t acked_snapshot = 0;  // bytes_acked at the last tick
@@ -184,6 +201,9 @@ class NetworkComponent final : public kompics::ComponentDefinition {
     std::unique_ptr<wire::FrameDecoder> decoder;
     Transport transport = Transport::kTcp;
     bool closed = false;
+    /// Sender incarnation announced by this connection's session hello;
+    /// 0 until a hello arrives (legacy/UDP traffic is never fenced).
+    std::uint64_t incarnation = 0;
   };
 
   /// A frame parked when its peer was Dead, replayed on recovery if still
@@ -205,6 +225,9 @@ class NetworkComponent final : public kompics::ComponentDefinition {
     std::shared_ptr<transport::StreamConnection> probe_conn;
     std::deque<DeadLetter> dead_letters;
     std::size_t dead_letter_bytes = 0;
+    /// Highest incarnation any session hello has announced for this peer;
+    /// connections carrying an older one are zombies and get fenced.
+    std::uint64_t remote_incarnation = 0;
 
     explicit PeerState(PhiConfig cfg) : phi(cfg) {}
   };
@@ -225,6 +248,15 @@ class NetworkComponent final : public kompics::ComponentDefinition {
                      std::size_t bytes);
   void start_listeners();
   void status_tick();
+  /// Releases everything the process owns on the simulated host — timers,
+  /// sessions, listeners, probes — so a killed node's port bindings free up
+  /// for the restarted incarnation. Invoked from Stop/Kill on the control
+  /// port; idempotent.
+  void teardown();
+  /// Queues the incarnation handshake at the *front* of the session's queue
+  /// so it is the first frame on the wire for a fresh connection.
+  void send_hello(Session& s);
+  void handle_hello(const SessionHelloMsg& hello, Inbound* from);
 
   // --- Supervision ---
   PeerState& peer_state(const Address& peer);
@@ -272,6 +304,7 @@ class NetworkComponent final : public kompics::ComponentDefinition {
   kompics::TimerHandle status_cancel_;
   kompics::TimerHandle supervision_cancel_;
   bool started_ = false;
+  Rng reconnect_rng_;  // decorrelated-jitter stream (seeded in the ctor)
   NetworkComponentStats stats_;
 };
 

@@ -101,6 +101,7 @@ enum class HealthReason : std::uint8_t {
   kSuspicionExpired,    ///< phi crossed the dead threshold
   kReconnectExhausted,  ///< channel died after all reconnect attempts failed
   kProbeSucceeded,      ///< probe connect to a Dead peer came back
+  kPeerRestarted,       ///< session hello announced a higher incarnation
 };
 
 constexpr const char* to_string(HealthReason r) {
@@ -111,6 +112,7 @@ constexpr const char* to_string(HealthReason r) {
     case HealthReason::kSuspicionExpired: return "suspicion-expired";
     case HealthReason::kReconnectExhausted: return "reconnect-exhausted";
     case HealthReason::kProbeSucceeded: return "probe-succeeded";
+    case HealthReason::kPeerRestarted: return "peer-restarted";
   }
   return "?";
 }
@@ -133,6 +135,20 @@ struct ConnectionStatus final : kompics::KompicsEvent {
   double phi;  ///< suspicion score at transition time
 };
 
+/// Indication that a peer *process* restarted: a session hello announced a
+/// higher incarnation than the one previously recorded for the peer. The
+/// network component has already fenced the old incarnation's in-flight
+/// frames and replayed any dead letters to the new one; applications react
+/// to this to reconcile state derived from the old process (re-advertise
+/// rumors, restart transfers, invalidate caches).
+struct PeerRestarted final : kompics::KompicsEvent {
+  PeerRestarted(Address p, std::uint64_t old_inc, std::uint64_t new_inc)
+      : peer(p), old_incarnation(old_inc), new_incarnation(new_inc) {}
+  Address peer;
+  std::uint64_t old_incarnation;  ///< 0 if the peer was first seen restarted
+  std::uint64_t new_incarnation;
+};
+
 struct Network : kompics::PortType {
   Network() {
     set_name("Network");
@@ -142,6 +158,7 @@ struct Network : kompics::PortType {
     indication<MessageNotifyResp>();
     indication<NetworkStatus>();
     indication<ConnectionStatus>();
+    indication<PeerRestarted>();
   }
 };
 

@@ -87,6 +87,15 @@ void register_supervision_serializers(SerializerRegistry& registry) {
         const auto seq = buf.read_varint();
         return kompics::make_event<HeartbeatMsg>(h, request, seq);
       });
+  registry.register_type(
+      kSessionHelloTypeId,
+      [](const Msg& m, wire::ByteBuf& buf) {
+        const auto& hello = static_cast<const SessionHelloMsg&>(m);
+        buf.write_varint(hello.incarnation());
+      },
+      [](const BasicHeader& h, wire::ByteBuf& buf) -> MsgPtr {
+        return kompics::make_event<SessionHelloMsg>(h, buf.read_varint());
+      });
 }
 
 }  // namespace kmsg::messaging

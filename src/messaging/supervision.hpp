@@ -116,8 +116,37 @@ class HeartbeatMsg final : public Msg {
   std::uint64_t seq_;
 };
 
-/// Registers the heartbeat codec. Idempotent: registries are commonly shared
-/// between the network components of co-simulated nodes.
+// --- Session hello (incarnation handshake) ----------------------------------
+
+/// Reserved type id for the session handshake, beside the heartbeat at the
+/// top of the id space.
+inline constexpr std::uint32_t kSessionHelloTypeId = 0xFFFFFF02;
+
+/// Session handshake: the first frame a network component writes on every
+/// outbound stream connection, announcing the sender's process incarnation
+/// (netsim::Host::incarnation(), bumped on crash-recovery). The receiver
+/// fences frames arriving on connections whose hello announced an older
+/// incarnation than the peer's newest known one — those are zombies the
+/// pre-crash process left in flight — and surfaces PeerRestarted when the
+/// incarnation advances. Never surfaced on the Network port.
+class SessionHelloMsg final : public Msg {
+ public:
+  SessionHelloMsg(BasicHeader header, std::uint64_t incarnation)
+      : header_(header), incarnation_(incarnation) {}
+
+  const Header& header() const override { return header_; }
+  std::uint32_t type_id() const override { return kSessionHelloTypeId; }
+  std::size_t serialized_size_hint() const override { return 48; }
+
+  std::uint64_t incarnation() const { return incarnation_; }
+
+ private:
+  BasicHeader header_;
+  std::uint64_t incarnation_;
+};
+
+/// Registers the heartbeat and session-hello codecs. Idempotent: registries
+/// are commonly shared between the network components of co-simulated nodes.
 void register_supervision_serializers(SerializerRegistry& registry);
 
 }  // namespace kmsg::messaging

@@ -201,6 +201,38 @@ ChaosSchedule& ChaosSchedule::flap_at(Duration t, HostId a, HostId b,
   return link_up_at(t + down_for, a, b);
 }
 
+ChaosSchedule& ChaosSchedule::crash_at(Duration t, HostId h) {
+  // Broadcast scope: links into h live on their source hosts' shards, so
+  // every shard must clear the queues of the links it owns that touch h.
+  // Only h's own shard takes the host down (single-writer discipline).
+  return add_all(t, "crash(" + std::to_string(h) + ")",
+                 &ChaosStats::node_crashes, [this, h](unsigned shard) {
+                   net_.for_each_link(
+                       [this, h, shard](HostId src, HostId dst, Link& l) {
+                         if ((src == h || dst == h) &&
+                             net_.shard_of(src) == shard) {
+                           l.drop_queued_host_down();
+                         }
+                       });
+                   if (net_.shard_of(h) == shard) net_.host(h).crash();
+                 });
+}
+
+ChaosSchedule& ChaosSchedule::recover_at(Duration t, HostId h) {
+  // Pair scope with a == b: targets exactly the host's own shard.
+  return add_pair(t, "recover(" + std::to_string(h) + ")",
+                  &ChaosStats::node_recoveries, h, h,
+                  [this, h](unsigned shard) {
+                    if (net_.shard_of(h) == shard) net_.host(h).recover();
+                  });
+}
+
+ChaosSchedule& ChaosSchedule::crash_recover_at(Duration t, HostId h,
+                                               Duration down_for) {
+  crash_at(t, h);
+  return recover_at(t + down_for, h);
+}
+
 ChaosSchedule& ChaosSchedule::random_flaps(int count, Duration from, Duration to,
                                            Duration down_for) {
   // Collect the distinct unordered linked pairs once; the draw order below

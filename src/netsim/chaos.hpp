@@ -42,9 +42,11 @@ struct ChaosStats {
   std::uint64_t rate_changes = 0;  ///< loss / corrupt / duplicate / reorder
   std::uint64_t delay_changes = 0;
   std::uint64_t proto_blocks = 0;  ///< UDP/TCP selective blackhole toggles
+  std::uint64_t node_crashes = 0;  ///< host crash-stop events
+  std::uint64_t node_recoveries = 0;  ///< host recover events
   std::uint64_t total() const {
     return partitions + heals + link_flaps + rate_changes + delay_changes +
-           proto_blocks;
+           proto_blocks + node_crashes + node_recoveries;
   }
 };
 
@@ -87,6 +89,17 @@ class ChaosSchedule {
   ChaosSchedule& link_up_at(Duration t, HostId a, HostId b);
   /// at t: take (a, b) down, restoring it after `down_for`.
   ChaosSchedule& flap_at(Duration t, HostId a, HostId b, Duration down_for);
+  /// at t: crash-stop host h. Every link touching h drops its queued
+  /// datagrams on the shard that owns it (the link's source shard), and the
+  /// host itself goes down on its own shard, dropping inbound deliveries and
+  /// outbound sends until recovery. Datagrams from h already in propagation
+  /// still arrive at their destinations — those are the zombie frames the
+  /// messaging layer's incarnation fence rejects.
+  ChaosSchedule& crash_at(Duration t, HostId h);
+  /// at t: bring a crashed host back up with the next incarnation.
+  ChaosSchedule& recover_at(Duration t, HostId h);
+  /// at t: crash h, recovering it after `down_for` (crash-recovery fault).
+  ChaosSchedule& crash_recover_at(Duration t, HostId h, Duration down_for);
 
   /// Generates `count` seeded-random flaps: each picks a random linked host
   /// pair and a random start time in [from, to), staying down for

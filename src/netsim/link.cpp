@@ -45,6 +45,12 @@ void Link::set_up(bool up) {
   }
 }
 
+void Link::drop_queued_host_down() {
+  stats_.drops_host_down += queue_.size();
+  queue_.clear();
+  queued_bytes_ = 0;
+}
+
 void Link::send(const Datagram& dg) {
   ++stats_.datagrams_sent;
   if (!up_) {

@@ -71,6 +71,7 @@ struct LinkStats {
   std::uint64_t bytes_delivered = 0;
   // Per-fault counters (chaos observability).
   std::uint64_t drops_link_down = 0;  ///< offered or queued while down
+  std::uint64_t drops_host_down = 0;  ///< queue cleared by an endpoint crash
   std::uint64_t drops_proto_blocked = 0;  ///< UDP/TCP selective blackhole
   std::uint64_t duplicated = 0;
   std::uint64_t corrupted = 0;
@@ -122,6 +123,13 @@ class Link {
   /// brings it back up. Datagrams already in flight still arrive.
   void set_up(bool up);
   bool is_up() const { return up_; }
+
+  /// Clears the queue because an endpoint host crashed (the link stays up —
+  /// the cable is fine, the process died). The datagram currently
+  /// serialising already made it onto the wire and still lands; the
+  /// receiving Host drops it if it is the crashed one. Counted separately
+  /// from drops_link_down for chaos observability.
+  void drop_queued_host_down();
 
  private:
   void start_transmission();

@@ -35,11 +35,38 @@ Port Host::bind_ephemeral(IpProto proto, Handler handler) {
 }
 
 void Host::send(Datagram dg) {
+  if (!up_) {
+    ++dropped_while_down_;
+    return;
+  }
   dg.src = id_;
   net_.route(dg);
 }
 
+void Host::crash() {
+  if (!up_) return;
+  up_ = false;
+  KMSG_DEBUG("netsim") << "host " << id_ << ": crashed (incarnation "
+                       << incarnation_ << ")";
+  if (fault_listener_) fault_listener_(false, incarnation_);
+}
+
+void Host::recover() {
+  if (up_) return;
+  up_ = true;
+  ++incarnation_;
+  KMSG_DEBUG("netsim") << "host " << id_ << ": recovered as incarnation "
+                       << incarnation_;
+  if (fault_listener_) fault_listener_(true, incarnation_);
+}
+
 void Host::deliver(const Datagram& dg) {
+  if (!up_) {
+    // The process is dead: anything already in flight to it is lost. This
+    // runs on the host's own shard, so the drop decision is deterministic.
+    ++dropped_while_down_;
+    return;
+  }
   auto it = bindings_.find({dg.proto, dg.dst_port});
   if (it == bindings_.end()) {
     KMSG_TRACE("netsim") << "host " << id_ << ": no binding for port "

@@ -39,6 +39,12 @@ class Network;
 class Host {
  public:
   using Handler = std::function<void(const Datagram&)>;
+  /// Observes process fault-domain transitions on this host: called from
+  /// crash() with (false, incarnation-that-died) and from recover() with
+  /// (true, fresh incarnation). Runs on the host's shard, synchronously
+  /// inside the crash/recover event — the hook the middleware stack uses to
+  /// kill / re-create the node's component tree.
+  using FaultListener = std::function<void(bool up, std::uint64_t incarnation)>;
 
   HostId id() const { return id_; }
   /// The shard this host is pinned to (0 in plain mode).
@@ -56,8 +62,32 @@ class Host {
   /// Picks a free ephemeral port for `proto` and binds it.
   Port bind_ephemeral(IpProto proto, Handler handler);
 
-  /// Sends a datagram; src is forced to this host.
+  /// Sends a datagram; src is forced to this host. Dropped (and counted)
+  /// while the host is crashed — a dead process cannot transmit, even if a
+  /// stale timer closure still tries to.
   void send(Datagram dg);
+
+  // --- Process fault domain (crash-stop / crash-recovery) ---
+
+  /// True while the process on this host is alive (the default).
+  bool is_up() const { return up_; }
+  /// Monotone process incarnation: starts at 1, bumped by every recover().
+  /// The messaging layer carries this in its session handshake to fence
+  /// frames from previous incarnations.
+  std::uint64_t incarnation() const { return incarnation_; }
+  /// Datagrams dropped at this host (inbound deliveries and outbound sends)
+  /// while it was down.
+  std::uint64_t dropped_while_down() const { return dropped_while_down_; }
+
+  /// Crash-stop: the process dies. In-flight datagrams addressed to the
+  /// host are dropped on arrival; sends are dropped at the source. Bindings
+  /// survive unless the fault listener tears them down (a restarted process
+  /// re-binding the same ports is the common model). No-op if already down.
+  void crash();
+  /// Crash-recovery: the process comes back with the next incarnation.
+  /// No-op if the host is up.
+  void recover();
+  void set_fault_listener(FaultListener fn) { fault_listener_ = std::move(fn); }
 
  private:
   friend class Network;
@@ -70,6 +100,10 @@ class Host {
   unsigned shard_;
   std::map<std::pair<IpProto, Port>, Handler> bindings_;
   Port next_ephemeral_ = 49152;
+  bool up_ = true;
+  std::uint64_t incarnation_ = 1;
+  std::uint64_t dropped_while_down_ = 0;
+  FaultListener fault_listener_;
 };
 
 class Network {

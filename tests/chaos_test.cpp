@@ -18,6 +18,7 @@
 #include "messaging/reliable.hpp"
 #include "netsim/chaos.hpp"
 #include "netsim/topology.hpp"
+#include "chaos_repro.hpp"
 
 namespace kmsg {
 namespace {

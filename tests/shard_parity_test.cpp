@@ -18,6 +18,7 @@
 #include "netsim/chaos.hpp"
 #include "netsim/topology.hpp"
 #include "sim/sharded.hpp"
+#include "chaos_repro.hpp"
 
 namespace {
 
@@ -241,6 +242,7 @@ struct WorldResult {
   std::string chaos_trace;
   std::uint64_t partition_drops = 0;
   std::uint64_t routing_drops = 0;
+  std::uint64_t host_down_drops = 0;
 
   bool operator==(const WorldResult&) const = default;
 };
@@ -316,6 +318,11 @@ WorldResult run_world(Topo topo, std::uint64_t seed, unsigned shards,
       .heal_at(Duration::millis(1400))
       .loss_all_at(Duration::millis(300), 0.02)
       .delay_all_at(Duration::millis(1700), Duration::nanos(1))
+      // Node faults: one crash-recovery mid-rumor-window and one crash-stop
+      // that outlives the run — zombie in-flight datagrams, fault-listener
+      // callbacks, and link-queue clearing must all be layout-invariant.
+      .crash_recover_at(Duration::millis(600), ids[1], Duration::millis(400))
+      .crash_at(Duration::millis(2000), ids[2])
       .random_flaps(6, Duration::millis(200), Duration::seconds(2.5),
                     Duration::millis(700));
   chaos.arm();
@@ -337,6 +344,9 @@ WorldResult run_world(Topo topo, std::uint64_t seed, unsigned shards,
   r.chaos_trace = chaos.trace_string();
   r.partition_drops = net->partition_drops();
   r.routing_drops = net->routing_drops();
+  for (const HostId h : ids) {
+    r.host_down_drops += net->host(h).dropped_while_down();
+  }
   return r;
 }
 
@@ -345,13 +355,17 @@ class ShardParitySweep
 
 TEST_P(ShardParitySweep, BitIdenticalAcrossShardCounts) {
   const auto [topo, seed] = GetParam();
+  kmsg::test::set_repro_seed(seed);
   const WorldResult reference = run_world(topo, seed, 0, 0);
   // The workload must actually exercise the machinery for parity to mean
-  // anything: messages flowed, supervision fired, chaos applied.
+  // anything: messages flowed, supervision fired, chaos applied — including
+  // the node-fault events and the traffic they killed.
   ASSERT_GT(reference.stats.heartbeats_received, 0u);
   ASSERT_GT(reference.stats.rumor_deliveries, 0u);
   ASSERT_GT(reference.stats.suspects, 0u);
   ASSERT_FALSE(reference.chaos_trace.empty());
+  ASSERT_NE(reference.chaos_trace.find("crash"), std::string::npos);
+  ASSERT_GT(reference.host_down_drops, 0u);
 
   for (const unsigned shards : {1u, 2u, 4u, 8u}) {
     const WorldResult threaded = run_world(topo, seed, shards, 0);

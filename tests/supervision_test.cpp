@@ -15,6 +15,7 @@
 #include "apps/filetransfer.hpp"
 #include "apps/messages.hpp"
 #include "netsim/chaos.hpp"
+#include "chaos_repro.hpp"
 
 namespace kmsg::messaging {
 namespace {
@@ -236,6 +237,151 @@ TEST_F(SupervisionFixture, PhiSuspicionTimesOutQueuedMessages) {
   EXPECT_GE(st.peers_died, 1u);
   EXPECT_GT(st.heartbeats_sent, 0u);
   EXPECT_GT(st.heartbeats_received, 0u);
+}
+
+/// Occurrences of a DataChunkMsg with the given offset among a probe's
+/// received messages (for exactly-once dead-letter replay assertions).
+std::size_t count_chunks_at(const SupProbe& p, std::uint64_t offset) {
+  std::size_t n = 0;
+  for (const auto& m : p.messages) {
+    const auto* c = dynamic_cast<const DataChunkMsg*>(m.get());
+    if (c != nullptr && c->offset() == offset) ++n;
+  }
+  return n;
+}
+
+// Dead-letter overflow: when parked letters exceed the buffer cap, the
+// OLDEST are evicted (and counted dropped); the flush after recovery replays
+// exactly the surviving letters once each — evicted ones stay gone.
+TEST_F(SupervisionFixture, DeadLetterOverflowEvictsOldestFirst) {
+  kmsg::test::set_repro_seed(42);
+  apps::ExperimentConfig cfg;
+  cfg.setup = netsim::Setup::kEuVpc;
+  cfg.net.tcp.initial_rto = Duration::millis(200);
+  cfg.net.tcp.max_syn_retries = 1;
+  cfg.net.tcp.max_data_retries = 2;
+  cfg.net.tcp.send_buffer_bytes = 32 * 1024;
+  cfg.net.session_reconnect_attempts = 2;
+  cfg.net.session_reconnect_backoff = Duration::millis(100);
+  cfg.net.phi.acceptable_pause = Duration::seconds(30.0);
+  cfg.net.phi_connect_fail_penalty = 0.0;
+  cfg.net.dead_peer_probe_interval = Duration::millis(500);
+  cfg.net.dead_letter_ttl = Duration::seconds(30.0);
+  // Room for roughly three of the 1 kB letters below — the other three must
+  // be evicted oldest-first.
+  cfg.net.dead_letter_limit_bytes = 3500;
+  build(cfg);
+
+  netsim::ChaosSchedule chaos(exp->network());
+  chaos.partition_at(Duration::seconds(1.0),
+                     {{exp->addr_a().host}, {exp->addr_b().host}})
+      .heal_at(Duration::seconds(8.0));
+  chaos.arm();
+
+  probe_a->send(ping(1));
+  exp->run_for(Duration::seconds(1.0));
+  // Stuff the channel with notify-requested chunks only: they are answered
+  // PeerFailed at death, never parked, so the letter buffer holds exactly
+  // the fire-and-forget chunks sent below.
+  for (int i = 0; i < 4; ++i) {
+    probe_a->send_notified(chunk(Transport::kTcp, 20000u * i, 20000),
+                           next_notify_id());
+  }
+  exp->run_for(Duration::seconds(5.5));  // t = 6.5 s: reconnects exhausted
+
+  auto& net_a = exp->network_a();
+  ASSERT_EQ(net_a.peer_health(exp->addr_b()), PeerHealth::kDead);
+
+  // Six 1 kB fire-and-forget chunks into the dead peer: roughly double the
+  // letter cap, so parking must evict from the oldest end.
+  const std::uint64_t kBase = 777000;
+  for (int i = 0; i < 6; ++i) {
+    probe_a->send(chunk(Transport::kTcp, kBase + 1000u * i, 1000));
+  }
+  exp->run_for(Duration::millis(200));
+  EXPECT_GE(net_a.net_stats().dead_letters_dropped, 1u);
+  EXPECT_LE(net_a.dead_letter_bytes_total(), 3500u);
+
+  exp->run_for(Duration::seconds(5.0));  // across the heal + probe + flush
+
+  const auto& st = net_a.net_stats();
+  const std::uint64_t dropped = st.dead_letters_dropped;
+  EXPECT_EQ(dropped + st.dead_letters_flushed, 6u)
+      << "every letter must be either evicted or flushed, exactly once";
+  EXPECT_GE(dropped, 1u);
+  EXPECT_LT(dropped, 6u) << "the cap should have kept at least one letter";
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    const std::size_t copies = count_chunks_at(*probe_b, kBase + 1000u * i);
+    if (i < dropped) {
+      EXPECT_EQ(copies, 0u) << "evicted letter " << i << " was replayed";
+    } else {
+      EXPECT_EQ(copies, 1u) << "surviving letter " << i
+                            << " lost or duplicated";
+    }
+  }
+  EXPECT_EQ(net_a.dead_letter_bytes_total(), 0u);
+  EXPECT_EQ(net_a.peer_health(exp->addr_b()), PeerHealth::kHealthy);
+}
+
+// Regression for the mid-flush re-failure path: when a dead-letter flush
+// pushes letters into a channel that immediately fails again, the letters
+// must be re-parked — not lost, not duplicated — and retried on the next
+// sign of life. A UDP blackhole makes this deterministic: the UDT letters
+// bounce through park -> flush -> channel-death -> re-park cycles for
+// seconds (the peer stays Healthy via TCP heartbeats the whole time), then
+// deliver exactly once when the blackhole lifts.
+TEST_F(SupervisionFixture, DeadLetterFlushReparksWhenChannelStaysDown) {
+  kmsg::test::set_repro_seed(42);
+  apps::ExperimentConfig cfg;
+  cfg.setup = netsim::Setup::kEuVpc;
+  cfg.net.udt.handshake_retries = 2;  // UDT connects fail fast
+  cfg.net.session_reconnect_attempts = 1;
+  cfg.net.session_reconnect_backoff = Duration::millis(100);
+  cfg.net.phi.acceptable_pause = Duration::seconds(30.0);
+  cfg.net.phi_connect_fail_penalty = 0.0;
+  cfg.net.dead_letter_ttl = Duration::seconds(30.0);
+  build(cfg);
+
+  netsim::ChaosSchedule chaos(exp->network());
+  chaos.block_udp_at(Duration::millis(500), exp->addr_a().host,
+                     exp->addr_b().host, true)
+      .block_udp_at(Duration::seconds(4.0), exp->addr_a().host,
+                    exp->addr_b().host, false);
+  chaos.arm();
+
+  probe_a->send(ping(1));  // TCP session: continuous heartbeat evidence
+  exp->run_for(Duration::seconds(1.0));
+
+  const std::uint64_t kBase = 600000;
+  for (int i = 0; i < 3; ++i) {
+    probe_a->send(chunk(Transport::kUdt, kBase + 1000u * i, 800));
+  }
+  exp->run_for(Duration::seconds(3.0));  // t = 4.0 s: flush/re-fail cycles
+
+  auto& net_a = exp->network_a();
+  EXPECT_EQ(net_a.peer_health(exp->addr_b()), PeerHealth::kHealthy);
+  EXPECT_GE(net_a.net_stats().dead_letters_buffered, 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(count_chunks_at(*probe_b, kBase + 1000u * i), 0u)
+        << "letter crossed a blackholed channel";
+  }
+
+  exp->run_for(Duration::seconds(3.0));  // t = 7.0 s: blackhole lifted at 4.0
+
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(count_chunks_at(*probe_b, kBase + 1000u * i), 1u)
+        << "re-parked letter " << i << " lost or duplicated";
+  }
+  EXPECT_EQ(net_a.dead_letter_bytes_total(), 0u);
+  EXPECT_GE(net_a.net_stats().dead_letters_flushed, 3u);
+  // Channel-level UDT death and the flush/re-park cycles must never
+  // escalate to peer scope while TCP evidence keeps flowing.
+  for (const auto& t : probe_a->transitions) {
+    if (!t.transport) {
+      EXPECT_NE(t.new_state, PeerHealth::kDead)
+          << "peer declared dead despite a live TCP channel";
+    }
+  }
 }
 
 // Satellite (a): the bounded session queue rejects overflow with a Failed
