@@ -87,6 +87,25 @@ void register_app_serializers(messaging::SerializerRegistry& registry) {
       });
 
   registry.register_type(
+      kTelemetryTypeId,
+      [](const messaging::Msg& m, wire::ByteBuf& buf) {
+        const auto& t = dynamic_cast<const TelemetryMsg&>(m);
+        buf.write_string(t.device_id());
+        buf.write_varint(t.seq());
+        buf.write_u8(t.flags());
+        for (const std::uint64_t r : t.readings()) buf.write_u64(r);
+      },
+      [](const BasicHeader& h, wire::ByteBuf& buf) -> MsgPtr {
+        std::string device_id = buf.read_string();
+        const std::uint64_t seq = buf.read_varint();
+        const std::uint8_t flags = buf.read_u8();
+        std::array<std::uint64_t, TelemetryMsg::kReadings> readings{};
+        for (auto& r : readings) r = buf.read_u64();
+        return kompics::make_event<TelemetryMsg>(h, std::move(device_id), seq,
+                                                 flags, readings);
+      });
+
+  registry.register_type(
       kPongTypeId,
       [](const messaging::Msg& m, wire::ByteBuf& buf) {
         const auto& p = dynamic_cast<const PongMsg&>(m);
@@ -98,6 +117,23 @@ void register_app_serializers(messaging::SerializerRegistry& registry) {
         const std::int64_t at = buf.read_i64();
         return kompics::make_event<PongMsg>(h, seq, at);
       });
+}
+
+void register_app_delta_schemas(messaging::SerializerRegistry& registry) {
+  using messaging::DeltaSchema;
+  using messaging::FieldKind;
+  // Idempotent: registries are commonly shared between co-simulated nodes.
+  if (registry.delta_schema(kTelemetryTypeId) != nullptr) return;
+  // Mirrors the TelemetryMsg serializer field-for-field: device id (string =
+  // length-prefixed blob), seq varint, flags byte, then the fixed readings.
+  DeltaSchema telemetry;
+  telemetry.fields.push_back(FieldKind::kBlob);
+  telemetry.fields.push_back(FieldKind::kVarint);
+  telemetry.fields.push_back(FieldKind::kU8);
+  for (std::size_t i = 0; i < TelemetryMsg::kReadings; ++i) {
+    telemetry.fields.push_back(FieldKind::kU64);
+  }
+  registry.register_delta_schema(kTelemetryTypeId, std::move(telemetry));
 }
 
 }  // namespace kmsg::apps

@@ -4,7 +4,9 @@
 // evaluation (§V-A).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "messaging/msg.hpp"
@@ -17,6 +19,7 @@ inline constexpr std::uint32_t kDataChunkTypeId = 0x10;
 inline constexpr std::uint32_t kTransferCompleteTypeId = 0x11;
 inline constexpr std::uint32_t kPingTypeId = 0x20;
 inline constexpr std::uint32_t kPongTypeId = 0x21;
+inline constexpr std::uint32_t kTelemetryTypeId = 0x22;
 
 /// One 65 kB-class slice of a bulk transfer. Implements DataMsg so the
 /// adaptive interceptor can resolve Transport::DATA per message. The payload
@@ -123,8 +126,52 @@ class PongMsg final : public messaging::Msg {
   std::int64_t echo_sent_at_nanos_;
 };
 
+/// The many-small-messages workload of the wire-efficiency evaluation: a
+/// periodic sensor report whose body is dominated by fields that rarely
+/// change (device id, flags, most readings). Under delta encoding only the
+/// mutated readings travel; under coalescing dozens of reports share one
+/// frame header.
+class TelemetryMsg final : public messaging::Msg {
+ public:
+  static constexpr std::size_t kReadings = 8;
+
+  TelemetryMsg(messaging::BasicHeader header, std::string device_id,
+               std::uint64_t seq, std::uint8_t flags,
+               std::array<std::uint64_t, kReadings> readings)
+      : header_(header),
+        device_id_(std::move(device_id)),
+        seq_(seq),
+        flags_(flags),
+        readings_(readings) {}
+
+  const messaging::Header& header() const override { return header_; }
+  std::uint32_t type_id() const override { return kTelemetryTypeId; }
+  std::size_t serialized_size_hint() const override {
+    return device_id_.size() + 32 + kReadings * 8;
+  }
+
+  const std::string& device_id() const { return device_id_; }
+  std::uint64_t seq() const { return seq_; }
+  std::uint8_t flags() const { return flags_; }
+  const std::array<std::uint64_t, kReadings>& readings() const {
+    return readings_;
+  }
+
+ private:
+  messaging::BasicHeader header_;
+  std::string device_id_;
+  std::uint64_t seq_;
+  std::uint8_t flags_;
+  std::array<std::uint64_t, kReadings> readings_;
+};
+
 /// Registers serializers for all app message types.
 void register_app_serializers(messaging::SerializerRegistry& registry);
+
+/// Registers the delta-codec field layouts for the app types that benefit
+/// (currently TelemetryMsg). Call alongside register_app_serializers on
+/// systems that enable NetworkConfig::enable_delta.
+void register_app_delta_schemas(messaging::SerializerRegistry& registry);
 
 /// Deterministic, effectively incompressible payload: byte i of a chunk at
 /// absolute `offset` depends only on the global position, so any receiver

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 
 #include "common/backoff.hpp"
 #include "common/logging.hpp"
@@ -32,6 +33,7 @@ NetworkComponent::~NetworkComponent() {
   supervision_cancel_.cancel();
   for (auto& [key, s] : sessions_) {
     s->reconnect_timer.cancel();
+    s->coalesce_timer.cancel();
   }
   for (auto& [addr, ps] : peers_) {
     ps->probe_timer.cancel();
@@ -69,14 +71,19 @@ void NetworkComponent::teardown() {
   std::vector<std::shared_ptr<transport::StreamConnection>> doomed;
   for (auto& [key, s] : sessions_) {
     s->reconnect_timer.cancel();
-    for (auto& f : s->queue) {
-      if (f.heartbeat) continue;
+    s->coalesce_timer.cancel();
+    auto drop = [&](const PendingMsg& m) {
+      if (m.heartbeat) return;
       ++stats_.msgs_dropped;
-      if (f.notify) {
-        notify_result(*f.notify, DeliveryStatus::kFailed, s->transport,
-                      f.payload_bytes);
+      if (m.notify) {
+        notify_result(*m.notify, DeliveryStatus::kFailed, s->transport,
+                      m.payload_bytes);
       }
+    };
+    if (s->wire) {
+      for (const auto& m : s->wire->msgs) drop(m);
     }
+    for (const auto& m : s->queue) drop(m);
     ++stats_.sessions_closed;
     if (s->conn) doomed.push_back(s->conn);
   }
@@ -149,7 +156,7 @@ void NetworkComponent::status_tick() {
     const TimePoint now = system().clock().now();
     for (auto it = sessions_.begin(); it != sessions_.end();) {
       Session& s = *it->second;
-      const bool idle = s.queue.empty() && s.conn && s.connected &&
+      const bool idle = s.queue.empty() && !s.wire && s.conn && s.connected &&
                         s.conn->unacked_bytes() == 0;
       if (idle && now - s.last_activity > config_.idle_session_timeout) {
         // close() triggers on_closed asynchronously, which erases the
@@ -240,9 +247,9 @@ void NetworkComponent::handle_outgoing(MsgPtr msg, std::optional<NotifyId> notif
     return;
   }
   const std::size_t payload_bytes = serialized->size();
-  auto processed = pipeline_.process_outbound(std::move(*serialized));
-  // Header goes into the serialise slab's headroom: framing copies nothing.
-  auto framed = wire::encode_frame_slice(std::move(processed));
+  // Delta encoding, the pipeline and framing all run lazily at drain time
+  // (encode_submsg / build_wire_frame): their output depends on the specific
+  // connection the message ends up on.
 
   const Address peer = h.destination().with_vnode(0);
   if (config_.supervision_enabled) {
@@ -250,27 +257,35 @@ void NetworkComponent::handle_outgoing(MsgPtr msg, std::optional<NotifyId> notif
         it != peers_.end() && it->second->health == PeerHealth::kDead) {
       // The supervisor has declared this peer Dead: fail notifies
       // immediately rather than letting them age in a queue, and park
-      // fire-and-forget frames for replay if the peer recovers in time.
+      // fire-and-forget messages for replay if the peer recovers in time.
       if (notify) {
         ++stats_.msgs_dropped;
         notify_result(*notify, DeliveryStatus::kPeerFailed, proto,
                       payload_bytes);
       } else {
-        park_dead_letter(*it->second, std::move(framed), proto, payload_bytes);
+        park_dead_letter(*it->second, std::move(*serialized), msg->type_id(),
+                         proto, payload_bytes);
       }
       return;
     }
   }
 
   Session& s = session_for(peer, proto);
-  if (s.queued_bytes + framed.size() > config_.session_queue_limit_bytes) {
+  const std::size_t acct = serialized->size();
+  if (s.queued_bytes + acct > config_.session_queue_limit_bytes) {
     ++stats_.queue_overflow;
     ++stats_.msgs_dropped;
     if (notify) notify_result(*notify, DeliveryStatus::kFailed, proto, payload_bytes);
     return;
   }
-  s.queued_bytes += framed.size();
-  s.queue.push_back(PendingFrame{std::move(framed), 0, notify, payload_bytes});
+  s.queued_bytes += acct;
+  PendingMsg m;
+  m.serialized = std::move(*serialized);
+  m.type_id = msg->type_id();
+  m.notify = notify;
+  m.payload_bytes = payload_bytes;
+  m.acct_bytes = acct;
+  s.queue.push_back(std::move(m));
   s.last_activity = system().clock().now();
   if (s.connected) drain(s);
 }
@@ -321,6 +336,19 @@ NetworkComponent::Session& NetworkComponent::session_for(const Address& peer,
 }
 
 void NetworkComponent::open_session(Session& s) {
+  if (config_.enable_delta) {
+    // Delta state is strictly per-connection: a replacement connection means
+    // the peer allocates a fresh decoder, so the encoder must forget every
+    // base and start the new stream on keyframes. This is the fencing rule —
+    // no message is ever diffed against a base from a previous connection
+    // (and therefore never against a pre-restart one).
+    if (s.delta) {
+      s.delta->reset(0);
+    } else {
+      s.delta = std::make_unique<DeltaEncoder>(registry_.get(),
+                                               config_.delta_keyframe_interval);
+    }
+  }
   std::shared_ptr<transport::StreamConnection> conn;
   if (s.transport == Transport::kTcp) {
     conn = transport::TcpConnection::connect(host_, s.peer.host, s.peer.port,
@@ -378,23 +406,152 @@ void NetworkComponent::open_session(Session& s) {
 }
 
 void NetworkComponent::drain(Session& s) {
-  while (!s.queue.empty()) {
-    PendingFrame& f = s.queue.front();
-    const std::span<const std::uint8_t> rest =
-        f.bytes.span().subspan(f.offset);
+  if (!s.conn || !s.connected) return;
+  for (;;) {
+    if (!s.wire) {
+      if (s.queue.empty()) break;
+      if (!should_build(s)) break;  // coalescer holding the queue open
+      build_wire_frame(s);
+    }
+    WireFrame& w = *s.wire;
+    const std::span<const std::uint8_t> rest = w.bytes.span().subspan(w.offset);
     const std::size_t n = s.conn->write(rest);
-    f.offset += n;
-    if (f.offset < f.bytes.size()) break;  // transport backpressure
-    if (!f.heartbeat) {
-      ++stats_.msgs_sent;
-      stats_.bytes_sent += f.payload_bytes;
+    w.offset += n;
+    if (w.offset < w.bytes.size()) return;  // transport backpressure
+    stats_.wire_bytes_sent += w.bytes.size();
+    for (PendingMsg& m : w.msgs) {
+      if (!m.heartbeat) {
+        ++stats_.msgs_sent;
+        stats_.bytes_sent += m.payload_bytes;
+      }
+      if (m.notify) {
+        notify_result(*m.notify, DeliveryStatus::kSent, s.transport,
+                      m.payload_bytes);
+      }
+      s.queued_bytes -= m.acct_bytes;
     }
-    if (f.notify) {
-      notify_result(*f.notify, DeliveryStatus::kSent, s.transport, f.payload_bytes);
-    }
-    s.queued_bytes -= f.bytes.size();
-    s.queue.pop_front();
+    s.wire.reset();
   }
+}
+
+bool NetworkComponent::should_build(Session& s) {
+  if (!config_.enable_coalescing || s.flush_now) return true;
+  // Build immediately when an urgent message would otherwise wait, or the
+  // queue already fills the frame's byte ceiling; otherwise hold the queue
+  // open for frame-mates until the latency budget expires.
+  std::size_t bytes = 0;
+  for (const PendingMsg& m : s.queue) {
+    if (m.urgent) return true;
+    bytes += m.serialized.size();
+    if (bytes >= config_.coalesce_max_bytes) return true;
+  }
+  if (!s.coalesce_timer) {
+    const Address peer = s.peer;
+    const Transport t = s.transport;
+    s.coalesce_timer = system().scheduler().schedule_delayed(
+        config_.coalesce_delay, [this, peer, t] {
+          auto it = sessions_.find({peer, t});
+          if (it == sessions_.end()) return;
+          Session& ss = *it->second;
+          ss.coalesce_timer = {};
+          ss.flush_now = true;
+          if (ss.connected) drain(ss);
+          ss.flush_now = false;
+        });
+  }
+  return false;
+}
+
+void NetworkComponent::build_wire_frame(Session& s) {
+  s.coalesce_timer.cancel();
+  s.coalesce_timer = {};
+  std::vector<PendingMsg> msgs;
+  msgs.push_back(std::move(s.queue.front()));
+  s.queue.pop_front();
+  if (config_.enable_coalescing) {
+    std::size_t bytes = msgs.front().serialized.size();
+    while (!s.queue.empty() && bytes + s.queue.front().serialized.size() <=
+                                   config_.coalesce_max_bytes) {
+      bytes += s.queue.front().serialized.size();
+      msgs.push_back(std::move(s.queue.front()));
+      s.queue.pop_front();
+    }
+  }
+
+  wire::BufSlice payload;
+  if (msgs.size() > 1) {
+    std::vector<wire::BufSlice> subs;
+    subs.reserve(msgs.size());
+    for (PendingMsg& m : msgs) subs.push_back(encode_submsg(s, m));
+    payload = wire::encode_wire_coalesced(subs);
+    ++stats_.coalesced_frames_sent;
+    stats_.coalesced_msgs_sent += msgs.size();
+  } else if (config_.wire_v2()) {
+    payload = wire::encode_wire_single(encode_submsg(s, msgs.front()));
+  } else {
+    payload = encode_submsg(s, msgs.front());
+  }
+
+#ifndef NDEBUG
+  // Headroom audit: whenever the payload slice solely owns its slab with
+  // room for the frame header, encode_frame_slice must prepend in place —
+  // a copy here means some layer's headroom budget is wrong.
+  const std::uint8_t* payload_before = payload.data();
+  const bool must_prepend_in_place =
+      payload.unique() && payload.headroom() >= wire::kFrameHeaderBytes;
+#endif
+  WireFrame w;
+  w.bytes = wire::encode_frame_slice(std::move(payload));
+#ifndef NDEBUG
+  assert(!must_prepend_in_place ||
+         w.bytes.data() + wire::kFrameHeaderBytes == payload_before);
+#endif
+  w.msgs = std::move(msgs);
+  s.wire.emplace(std::move(w));
+}
+
+wire::BufSlice NetworkComponent::encode_submsg(Session& s, PendingMsg& m) {
+  wire::BufSlice bytes;
+  if (config_.enable_delta && s.delta) {
+    // Pass a shared copy and keep m.serialized: if this connection dies
+    // before the frame completes, the reconnect path re-encodes the message
+    // against the replacement connection's fresh encoder state. Keyframes
+    // pay one small counted copy for the tag prepend (the slice is shared);
+    // diffs build fresh buffers anyway.
+    const std::uint64_t deltas0 = s.delta->deltas_sent();
+    const std::uint64_t keys0 = s.delta->keyframes_sent();
+    const std::uint64_t saved0 = s.delta->bytes_saved();
+    bytes = s.delta->encode(m.type_id, m.serialized);
+    stats_.deltas_sent += s.delta->deltas_sent() - deltas0;
+    stats_.delta_keyframes_sent += s.delta->keyframes_sent() - keys0;
+    stats_.delta_bytes_saved += s.delta->bytes_saved() - saved0;
+  } else {
+    // No re-encode possible or needed: move the serialised bytes out so the
+    // downstream prepends (pipeline tag, wire tag, frame header) land in the
+    // serialise slab's headroom — the zero-copy path.
+    bytes = std::move(m.serialized);
+  }
+  return pipeline_.process_outbound(std::move(bytes));
+}
+
+wire::BufSlice NetworkComponent::encode_oneoff_frame(wire::BufSlice serialized) {
+  wire::BufSlice bytes = std::move(serialized);
+  if (config_.enable_delta) bytes = DeltaEncoder::encode_full(std::move(bytes));
+  bytes = pipeline_.process_outbound(std::move(bytes));
+  if (config_.wire_v2()) bytes = wire::encode_wire_single(std::move(bytes));
+  return wire::encode_frame_slice(std::move(bytes));
+}
+
+NetworkComponent::PendingMsg NetworkComponent::make_internal_msg(const Msg& msg) {
+  PendingMsg m;
+  m.type_id = msg.type_id();
+  m.heartbeat = true;
+  m.urgent = true;
+  if (auto serialized = registry_->serialize(msg)) {
+    m.serialized = std::move(*serialized);
+    m.acct_bytes = m.serialized.size();
+  }
+  return m;
 }
 
 void NetworkComponent::on_session_closed(const Address& peer, Transport t) {
@@ -409,18 +566,39 @@ void NetworkComponent::on_session_closed(const Address& peer, Transport t) {
     peer_state(peer).phi.penalize(config_.phi_connect_fail_penalty);
   }
 
-  // Session re-establishment: if frames are still queued (the connection was
-  // aborted by a poisoned frame stream, or collapsed mid-partition) retry
-  // with backoff rather than dropping them. A partially written frame
-  // restarts from its first byte — the peer's old decoder died with the old
-  // connection, so the replacement stream starts on a clean frame boundary.
-  if (!s.queue.empty() &&
+  // Session re-establishment: if messages are still queued (the connection
+  // was aborted by a poisoned frame stream, or collapsed mid-partition) retry
+  // with backoff rather than dropping them.
+  if ((!s.queue.empty() || s.wire) &&
       s.reconnect_attempts < config_.session_reconnect_attempts) {
     ++s.reconnect_attempts;
     ++stats_.session_reconnects;
     s.connected = false;
     s.conn = nullptr;
-    s.queue.front().offset = 0;
+    s.coalesce_timer.cancel();
+    s.coalesce_timer = {};
+    if (s.wire) {
+      if (config_.enable_delta) {
+        // The in-flight frame was encoded against the dead connection's
+        // delta state, which the replacement connection's fresh decoder will
+        // not share; dissolve it back into the queue so open_session's
+        // encoder reset re-encodes every message as keyframe-rooted traffic.
+        for (auto rit = s.wire->msgs.rbegin(); rit != s.wire->msgs.rend();
+             ++rit) {
+          s.queue.push_front(std::move(*rit));
+        }
+        s.wire.reset();
+      } else {
+        // The built frame is connection-independent; replay it from its
+        // first byte — the peer's old decoder died with the old connection,
+        // so the replacement stream starts on a clean frame boundary. It
+        // lands ahead of the reconnect hello, which is safe: pre-hello
+        // frames (incarnation 0) on a fresh connection are never fenced and
+        // always belong to the current live process — a zombie would have
+        // announced itself when *its* connection opened.
+        s.wire->offset = 0;
+      }
+    }
     if (config_.supervision_enabled &&
         s.channel_health == PeerHealth::kHealthy) {
       s.channel_health = PeerHealth::kSuspected;
@@ -452,26 +630,35 @@ void NetworkComponent::on_session_closed(const Address& peer, Transport t) {
     return;
   }
 
-  if (config_.supervision_enabled && !s.queue.empty()) {
-    // Reconnects exhausted with frames still queued: the channel is dead.
+  if (config_.supervision_enabled && (!s.queue.empty() || s.wire)) {
+    // Reconnects exhausted with messages still queued: the channel is dead.
     // Notify-requested messages get a definitive PeerFailed; fire-and-forget
-    // frames are parked as dead letters for a possible recovery flush.
+    // messages are parked as dead letters for a possible recovery flush.
     PeerState& ps = peer_state(peer);
     const double score = ps.phi.phi(system().clock().now());
-    for (auto& f : s.queue) {
-      if (f.heartbeat) continue;
-      if (f.notify) {
+    auto sweep = [&](PendingMsg& m) {
+      if (m.heartbeat) return;
+      if (m.notify) {
         ++stats_.msgs_dropped;
-        notify_result(*f.notify, DeliveryStatus::kPeerFailed, t,
-                      f.payload_bytes);
+        notify_result(*m.notify, DeliveryStatus::kPeerFailed, t,
+                      m.payload_bytes);
+      } else if (!m.serialized.empty()) {
+        park_dead_letter(ps, std::move(m.serialized), m.type_id, t,
+                         m.payload_bytes);
       } else {
-        f.offset = 0;
-        park_dead_letter(ps, std::move(f.bytes), t, f.payload_bytes);
+        // Already encoded into the in-flight frame with its serialised form
+        // moved out (delta off): nothing replayable remains.
+        ++stats_.msgs_dropped;
       }
+    };
+    if (s.wire) {
+      for (auto& m : s.wire->msgs) sweep(m);
     }
+    for (auto& m : s.queue) sweep(m);
     emit_channel_status(peer, t, s.channel_health, PeerHealth::kDead,
                         HealthReason::kReconnectExhausted, score);
     s.reconnect_timer.cancel();
+    s.coalesce_timer.cancel();
     sessions_.erase(it);
     // If no other channel to the peer is alive, the peer itself is Dead —
     // declare it so remaining (still-connecting) sessions are torn down and
@@ -488,14 +675,19 @@ void NetworkComponent::on_session_closed(const Address& peer, Transport t) {
   }
 
   // At-most-once semantics: queued messages are lost; fail their notifies.
-  for (const auto& f : s.queue) {
-    if (f.heartbeat) continue;
+  auto drop = [&](const PendingMsg& m) {
+    if (m.heartbeat) return;
     ++stats_.msgs_dropped;
-    if (f.notify) {
-      notify_result(*f.notify, DeliveryStatus::kFailed, t, f.payload_bytes);
+    if (m.notify) {
+      notify_result(*m.notify, DeliveryStatus::kFailed, t, m.payload_bytes);
     }
+  };
+  if (s.wire) {
+    for (const auto& m : s.wire->msgs) drop(m);
   }
+  for (const auto& m : s.queue) drop(m);
   s.reconnect_timer.cancel();
+  s.coalesce_timer.cancel();
   sessions_.erase(it);
 }
 
@@ -506,6 +698,10 @@ void NetworkComponent::attach_inbound(
   in->conn = conn;
   in->transport = t;
   in->decoder = std::make_unique<wire::FrameDecoder>();
+  in->decoder->set_wire_v2(config_.wire_v2());
+  if (config_.enable_delta) {
+    in->delta = std::make_unique<DeltaDecoder>(registry_.get());
+  }
   Inbound* raw = in.get();
   in->decoder->set_on_frame(
       [this, raw](wire::BufSlice frame) { deliver_frame(std::move(frame), raw); });
@@ -542,9 +738,29 @@ void NetworkComponent::deliver_frame(wire::BufSlice frame, Inbound* from) {
     ++stats_.deserialize_failures;
     return;
   }
-  const std::size_t inbound_bytes = inbound->size();
+  wire::BufSlice plain = std::move(*inbound);
+  if (config_.enable_delta && from != nullptr && from->delta) {
+    // Stream traffic is always delta-tagged when the codec is on (UDP,
+    // from == nullptr, never is). A diff we hold no base for is not a stream
+    // error — the message is dropped (at-most-once) and the sender asked to
+    // keyframe that type.
+    const std::uint64_t deltas0 = from->delta->deltas_received();
+    auto res = from->delta->decode(std::move(plain));
+    if (res.status == DeltaDecoder::Status::kNeedReset) {
+      send_delta_reset(from, res.type_id);
+      return;
+    }
+    if (res.status == DeltaDecoder::Status::kMalformed) {
+      ++stats_.deserialize_failures;
+      send_delta_reset(from, res.type_id);
+      return;
+    }
+    stats_.deltas_received += from->delta->deltas_received() - deltas0;
+    plain = std::move(res.msg);
+  }
+  const std::size_t inbound_bytes = plain.size();
   // The deserialised message's payload stays a view of this same slab.
-  auto msg = registry_->deserialize(std::move(*inbound));
+  auto msg = registry_->deserialize(std::move(plain));
   if (!msg) {
     ++stats_.deserialize_failures;
     return;
@@ -568,6 +784,10 @@ void NetworkComponent::deliver_frame(wire::BufSlice frame, Inbound* from) {
   }
   if (msg->type_id() == kHeartbeatTypeId) {
     handle_heartbeat(static_cast<const HeartbeatMsg&>(*msg), from);
+    return;
+  }
+  if (msg->type_id() == kDeltaResetTypeId) {
+    handle_delta_reset(static_cast<const DeltaResetMsg&>(*msg), from);
     return;
   }
   ++stats_.msgs_received;
@@ -631,7 +851,7 @@ void NetworkComponent::supervision_tick() {
   // a heartbeat queued behind megabytes of backlog would measure queue depth,
   // not liveness, and ack progress above already covers them.
   for (auto& [key, s] : sessions_) {
-    if (s->connected && s->conn && s->queue.empty()) {
+    if (s->connected && s->conn && s->queue.empty() && !s->wire) {
       send_heartbeat(*s, peer_state(key.first));
     }
   }
@@ -663,12 +883,10 @@ void NetworkComponent::supervision_tick() {
 void NetworkComponent::send_heartbeat(Session& s, PeerState& ps) {
   HeartbeatMsg hb(BasicHeader(config_.self, s.peer, s.transport),
                   /*request=*/true, ps.hb_seq++);
-  auto serialized = registry_->serialize(hb);
-  if (!serialized) return;
-  auto processed = pipeline_.process_outbound(std::move(*serialized));
-  auto framed = wire::encode_frame_slice(std::move(processed));
-  s.queued_bytes += framed.size();
-  s.queue.push_back(PendingFrame{std::move(framed), 0, {}, 0, /*heartbeat=*/true});
+  PendingMsg m = make_internal_msg(hb);
+  if (m.serialized.empty()) return;
+  s.queued_bytes += m.acct_bytes;
+  s.queue.push_back(std::move(m));
   ++stats_.heartbeats_sent;
   drain(s);
 }
@@ -688,22 +906,24 @@ void NetworkComponent::handle_heartbeat(const HeartbeatMsg& hb, Inbound* from) {
   const Transport t = from ? from->transport : hb.header().protocol();
   HeartbeatMsg echo(BasicHeader(config_.self, hb.header().source(), t),
                     /*request=*/false, hb.seq());
-  auto serialized = registry_->serialize(echo);
-  if (!serialized) return;
-  auto processed = pipeline_.process_outbound(std::move(*serialized));
-  auto framed = wire::encode_frame_slice(std::move(processed));
   if (auto it = sessions_.find({src, t});
       it != sessions_.end() && it->second->connected) {
     Session& s = *it->second;
-    s.queued_bytes += framed.size();
-    s.queue.push_back(
-        PendingFrame{std::move(framed), 0, {}, 0, /*heartbeat=*/true});
+    PendingMsg m = make_internal_msg(echo);
+    if (m.serialized.empty()) return;
+    s.queued_bytes += m.acct_bytes;
+    s.queue.push_back(std::move(m));
     ++stats_.heartbeats_sent;
     drain(s);
   } else if (from && from->conn && !from->closed) {
     // Accepted connections are otherwise never written to; a heartbeat echo
-    // is the one exception. Partial writes are dropped — echoes are cheap
-    // and the next ping retries.
+    // is the one exception. The one-off encode mirrors what a session drain
+    // would produce (delta keyframe tag, wire-v2 tag) so the peer's decoder
+    // for this direction parses it like any other frame. Partial writes are
+    // dropped — echoes are cheap and the next ping retries.
+    auto serialized = registry_->serialize(echo);
+    if (!serialized) return;
+    auto framed = encode_oneoff_frame(std::move(*serialized));
     from->conn->write(framed.span());
     ++stats_.heartbeats_sent;
   }
@@ -712,24 +932,29 @@ void NetworkComponent::handle_heartbeat(const HeartbeatMsg& hb, Inbound* from) {
 void NetworkComponent::send_hello(Session& s) {
   SessionHelloMsg hello(BasicHeader(config_.self, s.peer, s.transport),
                         host_.incarnation());
-  auto serialized = registry_->serialize(hello);
-  if (!serialized) return;
-  auto processed = pipeline_.process_outbound(std::move(*serialized));
-  auto framed = wire::encode_frame_slice(std::move(processed));
-  s.queued_bytes += framed.size();
+  PendingMsg m = make_internal_msg(hello);
+  if (m.serialized.empty()) return;
+  s.queued_bytes += m.acct_bytes;
   // Front of the queue: the receiver must learn our incarnation before any
   // payload, or a frame raced ahead of the hello could not be classified.
-  // The heartbeat flag exempts it from caps, stats and dead-lettering.
-  s.queue.push_front(
-      PendingFrame{std::move(framed), 0, {}, 0, /*heartbeat=*/true});
+  // The heartbeat flag exempts it from caps, stats and dead-lettering; the
+  // urgent flag keeps the coalescer from delaying the handshake.
+  s.queue.push_front(std::move(m));
   ++stats_.hellos_sent;
 }
 
 void NetworkComponent::handle_hello(const SessionHelloMsg& hello,
                                     Inbound* from) {
   ++stats_.hellos_received;
-  if (from != nullptr) from->incarnation = hello.incarnation();
   const Address src = hello.header().source().with_vnode(0);
+  if (from != nullptr) {
+    from->incarnation = hello.incarnation();
+    // Learn who is on the other end: a DeltaResetMsg for this connection's
+    // decoder must be addressed somewhere, and the hello is the first (and
+    // authoritative) statement of the sender's identity.
+    from->peer = src;
+    from->has_peer = true;
+  }
   // Incarnation tracking is correctness, not supervision — it runs even with
   // the supervision layer disabled (only the health FSM reactions are gated).
   PeerState& ps = peer_state(src);
@@ -756,6 +981,38 @@ void NetworkComponent::handle_hello(const SessionHelloMsg& hello,
       record_alive(src, HealthReason::kPeerRestarted);
     }
   } else if (config_.supervision_enabled) {
+    record_alive(src, HealthReason::kEvidence);
+  }
+}
+
+void NetworkComponent::send_delta_reset(Inbound* from, std::uint32_t type_id) {
+  // Without a hello we do not know who sent the undecodable diff; nothing to
+  // do but drop it — the sender's periodic keyframe bounds the dark window.
+  if (from == nullptr || !from->has_peer) return;
+  DeltaResetMsg reset(BasicHeader(config_.self, from->peer, from->transport),
+                      type_id);
+  PendingMsg m = make_internal_msg(reset);
+  if (m.serialized.empty()) return;
+  Session& s = session_for(from->peer, from->transport);
+  s.queued_bytes += m.acct_bytes;
+  s.queue.push_back(std::move(m));
+  ++stats_.delta_resets_sent;
+  if (s.connected) drain(s);
+}
+
+void NetworkComponent::handle_delta_reset(const DeltaResetMsg& reset,
+                                          Inbound* from) {
+  (void)from;
+  ++stats_.delta_resets_received;
+  const Address src = reset.header().source().with_vnode(0);
+  // The requester's decoder lost its bases; every one of our encoders
+  // feeding that peer must forget its own so the next messages keyframe.
+  for (auto& [key, s] : sessions_) {
+    if (key.first == src && s->delta) {
+      s->delta->reset(reset.reset_type_id());
+    }
+  }
+  if (config_.supervision_enabled) {
     record_alive(src, HealthReason::kEvidence);
   }
 }
@@ -803,16 +1060,17 @@ void NetworkComponent::record_alive(const Address& peer, HealthReason reason,
   }
 }
 
-void NetworkComponent::park_dead_letter(PeerState& ps, wire::BufSlice frame,
-                                        Transport t,
+void NetworkComponent::park_dead_letter(PeerState& ps,
+                                        wire::BufSlice serialized,
+                                        std::uint32_t type_id, Transport t,
                                         std::size_t payload_bytes) {
-  ps.dead_letter_bytes += frame.size();
-  ps.dead_letters.push_back(
-      DeadLetter{std::move(frame), t, payload_bytes, system().clock().now()});
+  ps.dead_letter_bytes += serialized.size();
+  ps.dead_letters.push_back(DeadLetter{std::move(serialized), type_id, t,
+                                       payload_bytes, system().clock().now()});
   ++stats_.dead_letters_buffered;
   while (ps.dead_letter_bytes > config_.dead_letter_limit_bytes &&
          !ps.dead_letters.empty()) {
-    ps.dead_letter_bytes -= ps.dead_letters.front().frame.size();
+    ps.dead_letter_bytes -= ps.dead_letters.front().serialized.size();
     ps.dead_letters.pop_front();
     ++stats_.dead_letters_dropped;
     ++stats_.msgs_dropped;
@@ -836,17 +1094,26 @@ void NetworkComponent::declare_dead(const Address& peer, HealthReason reason,
       continue;
     }
     Session& s = *it->second;
-    for (auto& f : s.queue) {
-      if (f.heartbeat) continue;
-      if (f.notify) {
+    auto sweep = [&](PendingMsg& m) {
+      if (m.heartbeat) return;
+      if (m.notify) {
         ++stats_.msgs_dropped;
-        notify_result(*f.notify, status, s.transport, f.payload_bytes);
+        notify_result(*m.notify, status, s.transport, m.payload_bytes);
+      } else if (!m.serialized.empty()) {
+        park_dead_letter(ps, std::move(m.serialized), m.type_id, s.transport,
+                         m.payload_bytes);
       } else {
-        f.offset = 0;
-        park_dead_letter(ps, std::move(f.bytes), s.transport, f.payload_bytes);
+        // Serialised form consumed by the in-flight frame (delta off):
+        // nothing replayable remains.
+        ++stats_.msgs_dropped;
       }
+    };
+    if (s.wire) {
+      for (auto& m : s.wire->msgs) sweep(m);
     }
+    for (auto& m : s.queue) sweep(m);
     s.reconnect_timer.cancel();
+    s.coalesce_timer.cancel();
     if (s.channel_health != PeerHealth::kDead) {
       emit_channel_status(peer, s.transport, s.channel_health,
                           PeerHealth::kDead, reason, score);
@@ -918,7 +1185,7 @@ void NetworkComponent::flush_dead_letters(const Address& peer, PeerState& ps) {
     // timestamps and are not counted as buffered twice.
     if (ps.health == PeerHealth::kDead || ps.health == PeerHealth::kSuspected) {
       for (std::size_t j = i; j < letters.size(); ++j) {
-        ps.dead_letter_bytes += letters[j].frame.size();
+        ps.dead_letter_bytes += letters[j].serialized.size();
         ps.dead_letters.push_back(std::move(letters[j]));
       }
       return;
@@ -930,15 +1197,20 @@ void NetworkComponent::flush_dead_letters(const Address& peer, PeerState& ps) {
       continue;
     }
     Session& s = session_for(peer, dl.transport);
-    if (s.queued_bytes + dl.frame.size() > config_.session_queue_limit_bytes) {
+    if (s.queued_bytes + dl.serialized.size() >
+        config_.session_queue_limit_bytes) {
       ++stats_.dead_letters_dropped;
       ++stats_.queue_overflow;
       ++stats_.msgs_dropped;
       continue;
     }
-    s.queued_bytes += dl.frame.size();
-    s.queue.push_back(
-        PendingFrame{std::move(dl.frame), 0, {}, dl.payload_bytes});
+    PendingMsg m;
+    m.acct_bytes = dl.serialized.size();
+    m.serialized = std::move(dl.serialized);
+    m.type_id = dl.type_id;
+    m.payload_bytes = dl.payload_bytes;
+    s.queued_bytes += m.acct_bytes;
+    s.queue.push_back(std::move(m));
     ++stats_.dead_letters_flushed;
     if (s.connected) drain(s);
   }

@@ -60,6 +60,30 @@ struct NetworkConfig {
   /// paper's Netty default). Off by default here because the reference
   /// workloads are incompressible; the quickstart shows enabling it.
   bool enable_compression = false;
+
+  // --- Wire efficiency (delta encoding + frame coalescing) ---
+  // Both flags switch stream sessions to wire format v2 and must be set
+  // symmetrically across the cluster (the format is not auto-negotiated);
+  // off by default so the v1 wire format stays byte-identical. UDP traffic
+  // is never delta-coded or coalesced (no per-connection state to key on).
+  /// Schema-aware delta encoding: messages whose type registered a
+  /// DeltaSchema travel as field diffs against the last message of that
+  /// type on the same connection (keyframes per delta_keyframe_interval).
+  bool enable_delta = false;
+  /// Messages between forced keyframes on each (connection, type) stream —
+  /// bounds how long a receiver that lost its base stays dark.
+  std::uint32_t delta_keyframe_interval = 64;
+  /// Nagle-style frame coalescing: consecutive queued messages are packed
+  /// into one frame under a single length/CRC header, up to
+  /// coalesce_max_bytes, flushing when coalesce_delay expires or an urgent
+  /// message (heartbeat, hello, keyframe request) enters the queue.
+  bool enable_coalescing = false;
+  /// Latency budget a message may wait for frame-mates.
+  Duration coalesce_delay = Duration::micros(500);
+  /// Byte ceiling on the serialised payload of one coalesced frame.
+  std::size_t coalesce_max_bytes = 8 * 1024;
+  /// True when stream sessions speak wire format v2 (tagged frame payloads).
+  bool wire_v2() const { return enable_delta || enable_coalescing; }
   /// Cadence of NetworkStatus indications (reward signal for the learner).
   Duration status_interval = Duration::millis(100);
   /// Per-session cap on queued-but-unwritten frame bytes; messages beyond
@@ -148,6 +172,16 @@ struct NetworkComponentStats {
   std::uint64_t hellos_received = 0;
   std::uint64_t peer_restarts = 0;         ///< hellos with a higher incarnation
   std::uint64_t stale_frames_fenced = 0;   ///< zombie frames from old incarnations
+  // Wire efficiency (delta encoding + frame coalescing).
+  std::uint64_t deltas_sent = 0;            ///< messages sent as field diffs
+  std::uint64_t delta_keyframes_sent = 0;   ///< messages sent in full
+  std::uint64_t delta_bytes_saved = 0;      ///< serialised bytes elided by diffs
+  std::uint64_t deltas_received = 0;        ///< diffs successfully reconstructed
+  std::uint64_t delta_resets_sent = 0;      ///< keyframe requests we issued
+  std::uint64_t delta_resets_received = 0;  ///< keyframe requests we honoured
+  std::uint64_t coalesced_frames_sent = 0;  ///< frames carrying >1 message
+  std::uint64_t coalesced_msgs_sent = 0;    ///< messages inside those frames
+  std::uint64_t wire_bytes_sent = 0;        ///< framed bytes handed to streams
 };
 
 class NetworkComponent final : public kompics::ComponentDefinition {
@@ -172,20 +206,43 @@ class NetworkComponent final : public kompics::ComponentDefinition {
   std::size_t dead_letter_bytes_total() const;
 
  private:
-  struct PendingFrame {
-    wire::BufSlice bytes;    // framed message (a view of the serialise slab)
-    std::size_t offset = 0;  // bytes already written to the transport
+  /// One message awaiting the wire. Queued in serialised (envelope+body)
+  /// form: the delta/pipeline/framing transforms run lazily when a frame is
+  /// built at drain time, because their output is per-*connection* state — a
+  /// frame built for one connection must not be replayed verbatim onto its
+  /// replacement when delta encoding is on.
+  struct PendingMsg {
+    wire::BufSlice serialized;  // envelope+body (moved out at frame build
+                                // unless delta needs it for re-encoding)
+    std::uint32_t type_id = 0;
     std::optional<NotifyId> notify;
     std::size_t payload_bytes = 0;  // pre-framing size, for the notify
+    std::size_t acct_bytes = 0;     // queued_bytes contribution
     bool heartbeat = false;  // internal probe: exempt from caps and letters
+    bool urgent = false;     // explicit-flush marker: never held back by
+                             // the coalescer (heartbeats, hellos, probes)
+  };
+
+  /// The frame currently being written to the transport, with the messages
+  /// it was built from (for notifies on completion, and for re-encoding on
+  /// reconnect). Backpressure resumes *these* bytes — a partially written
+  /// coalesced frame is replayed as built, never re-coalesced.
+  struct WireFrame {
+    wire::BufSlice bytes;    // header + payload, as handed to the transport
+    std::size_t offset = 0;  // bytes already written
+    std::vector<PendingMsg> msgs;
   };
 
   struct Session {
     Address peer;  // vnode stripped
     Transport transport = Transport::kTcp;
     std::shared_ptr<transport::StreamConnection> conn;
-    std::deque<PendingFrame> queue;
-    std::size_t queued_bytes = 0;
+    std::deque<PendingMsg> queue;       // not yet framed
+    std::optional<WireFrame> wire;      // frame in flight, built at drain
+    std::size_t queued_bytes = 0;       // queue + wire accounting
+    std::unique_ptr<DeltaEncoder> delta;  // non-null when enable_delta
+    kompics::TimerHandle coalesce_timer;  // pending latency-budget flush
+    bool flush_now = false;  // budget expired: build regardless of fill
     bool connected = false;
     TimePoint last_activity = TimePoint::zero();
     int reconnect_attempts = 0;        // consecutive failures since last connect
@@ -199,18 +256,26 @@ class NetworkComponent final : public kompics::ComponentDefinition {
   struct Inbound {
     std::shared_ptr<transport::StreamConnection> conn;
     std::unique_ptr<wire::FrameDecoder> decoder;
+    std::unique_ptr<DeltaDecoder> delta;  // non-null when enable_delta
     Transport transport = Transport::kTcp;
     bool closed = false;
     /// Sender incarnation announced by this connection's session hello;
     /// 0 until a hello arrives (legacy/UDP traffic is never fenced).
     std::uint64_t incarnation = 0;
+    /// Sender address from the hello (vnode stripped) — where a keyframe
+    /// request for this connection's delta stream must be addressed.
+    Address peer{};
+    bool has_peer = false;
   };
 
-  /// A frame parked when its peer was Dead, replayed on recovery if still
-  /// within dead_letter_ttl. Notify-requested messages are never parked —
-  /// they get a definitive PeerFailed/TimedOut answer instead.
+  /// A message parked when its peer was Dead, replayed on recovery if still
+  /// within dead_letter_ttl. Parked in serialised form so the replay runs
+  /// through the full encode path of whatever connection flushes it.
+  /// Notify-requested messages are never parked — they get a definitive
+  /// PeerFailed/TimedOut answer instead.
   struct DeadLetter {
-    wire::BufSlice frame;
+    wire::BufSlice serialized;
+    std::uint32_t type_id = 0;
     Transport transport = Transport::kTcp;
     std::size_t payload_bytes = 0;
     TimePoint at = TimePoint::zero();
@@ -258,6 +323,34 @@ class NetworkComponent final : public kompics::ComponentDefinition {
   void send_hello(Session& s);
   void handle_hello(const SessionHelloMsg& hello, Inbound* from);
 
+  // --- Wire efficiency (drain-time encoding) ---
+  /// True when drain() may build the next wire frame now; false while the
+  /// coalescer is still holding the queue open for frame-mates (arms the
+  /// latency-budget timer as a side effect).
+  bool should_build(Session& s);
+  /// Pops 1..N queued messages (N > 1 only when coalescing) and encodes them
+  /// into s.wire: per-message delta + pipeline, then the v2 payload tag (or
+  /// raw v1 bytes), then the length/CRC frame header.
+  void build_wire_frame(Session& s);
+  /// Delta (when enabled) + pipeline for one message on this session. With
+  /// delta on, m.serialized is kept (a reconnect re-encodes it); with delta
+  /// off it is moved out, preserving the zero-copy prepend chain.
+  wire::BufSlice encode_submsg(Session& s, PendingMsg& m);
+  /// Stateless one-shot encode for writes outside any session (heartbeat
+  /// echo down an inbound connection): delta keyframe tag + pipeline + v2
+  /// tag + frame header, mirroring what a session drain would produce.
+  wire::BufSlice encode_oneoff_frame(wire::BufSlice serialized);
+  /// Sends DeltaResetMsg(type_id) to the peer behind `from`, asking for a
+  /// keyframe; silently dropped when the hello has not yet told us who the
+  /// peer is.
+  void send_delta_reset(Inbound* from, std::uint32_t type_id);
+  /// Honours a keyframe request: resets the delta encoders of every session
+  /// to the requesting peer.
+  void handle_delta_reset(const DeltaResetMsg& reset, Inbound* from);
+  /// Serialises an internal control message (hello/heartbeat/delta-reset)
+  /// into an urgent PendingMsg; empty serialized on registry failure.
+  PendingMsg make_internal_msg(const Msg& msg);
+
   // --- Supervision ---
   PeerState& peer_state(const Address& peer);
   void supervision_tick();
@@ -269,9 +362,10 @@ class NetworkComponent final : public kompics::ComponentDefinition {
   /// cadence information; other evidence merely refreshes the clock.
   void record_alive(const Address& peer, HealthReason reason,
                     bool interval_sample = false);
-  /// Parks a fire-and-forget frame for possible replay on recovery,
-  /// evicting the oldest letters past the per-peer byte cap.
-  void park_dead_letter(PeerState& ps, wire::BufSlice frame, Transport t,
+  /// Parks a fire-and-forget serialised message for possible replay on
+  /// recovery, evicting the oldest letters past the per-peer byte cap.
+  void park_dead_letter(PeerState& ps, wire::BufSlice serialized,
+                        std::uint32_t type_id, Transport t,
                         std::size_t payload_bytes);
   /// Declares a peer Dead: cancels reconnects, answers queued notifies with
   /// `status`, parks fire-and-forget frames as dead letters, tears down all

@@ -96,6 +96,16 @@ void register_supervision_serializers(SerializerRegistry& registry) {
       [](const BasicHeader& h, wire::ByteBuf& buf) -> MsgPtr {
         return kompics::make_event<SessionHelloMsg>(h, buf.read_varint());
       });
+  registry.register_type(
+      kDeltaResetTypeId,
+      [](const Msg& m, wire::ByteBuf& buf) {
+        const auto& reset = static_cast<const DeltaResetMsg&>(m);
+        buf.write_varint(reset.reset_type_id());
+      },
+      [](const BasicHeader& h, wire::ByteBuf& buf) -> MsgPtr {
+        return kompics::make_event<DeltaResetMsg>(
+            h, static_cast<std::uint32_t>(buf.read_varint()));
+      });
 }
 
 }  // namespace kmsg::messaging

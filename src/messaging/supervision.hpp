@@ -145,8 +145,35 @@ class SessionHelloMsg final : public Msg {
   std::uint64_t incarnation_;
 };
 
-/// Registers the heartbeat and session-hello codecs. Idempotent: registries
-/// are commonly shared between the network components of co-simulated nodes.
+// --- Delta reset (keyframe request) ------------------------------------------
+
+/// Reserved type id for the delta-codec keyframe request.
+inline constexpr std::uint32_t kDeltaResetTypeId = 0xFFFFFF03;
+
+/// Receiver -> sender control message of the delta codec: "I cannot decode
+/// diffs for `reset_type_id` (0 = any type) — send a keyframe next". Emitted
+/// when a diff arrives with no cached base (e.g. after the receiver's state
+/// was fenced away); the sender drops the affected base so its next message
+/// of that type travels in full. Never surfaced on the Network port.
+class DeltaResetMsg final : public Msg {
+ public:
+  DeltaResetMsg(BasicHeader header, std::uint32_t reset_type_id)
+      : header_(header), reset_type_id_(reset_type_id) {}
+
+  const Header& header() const override { return header_; }
+  std::uint32_t type_id() const override { return kDeltaResetTypeId; }
+  std::size_t serialized_size_hint() const override { return 48; }
+
+  std::uint32_t reset_type_id() const { return reset_type_id_; }
+
+ private:
+  BasicHeader header_;
+  std::uint32_t reset_type_id_;
+};
+
+/// Registers the heartbeat, session-hello and delta-reset codecs. Idempotent:
+/// registries are commonly shared between the network components of
+/// co-simulated nodes.
 void register_supervision_serializers(SerializerRegistry& registry);
 
 }  // namespace kmsg::messaging

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstring>
 
+#include "wire/bytebuf.hpp"
+
 namespace kmsg::wire {
 
 namespace {
@@ -96,6 +98,29 @@ std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload) {
   return out;
 }
 
+BufSlice encode_wire_single(BufSlice encoded) {
+  std::uint8_t* p = encoded.try_prepend(1);
+  if (!p) {
+    encoded = BufSlice::copy_of(encoded.span(), 1 + kFrameHeaderBytes);
+    p = encoded.try_prepend(1);
+  }
+  *p = kWireSingleTag;
+  return encoded;
+}
+
+BufSlice encode_wire_coalesced(std::span<const BufSlice> subs,
+                               std::size_t headroom) {
+  std::size_t total = 1;
+  for (const BufSlice& s : subs) total += 5 + s.size();  // worst-case varint
+  ByteBuf out{total, headroom};
+  out.write_u8(kWireCoalescedTag);
+  for (const BufSlice& s : subs) {
+    out.write_varint(s.size());
+    out.write_bytes(s.span());
+  }
+  return std::move(out).take_slice();
+}
+
 BufSlice encode_frame_slice(BufSlice payload) {
   const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
   const std::uint32_t crc = crc32(payload.span());
@@ -137,6 +162,56 @@ bool FrameDecoder::parse(const std::uint8_t* data, std::size_t& start,
     if (poisoned_) return false;  // callback may have reset us
   }
   return true;
+}
+
+void FrameDecoder::emit_payload(BufSlice payload) {
+  if (!wire_v2_) {
+    on_frame_(std::move(payload));
+    return;
+  }
+  if (payload.empty()) {
+    ++corrupt_;
+    poisoned_ = true;
+    return;
+  }
+  const std::uint8_t tag = payload[0];
+  if (tag == kWireSingleTag) {
+    ++submsgs_;
+    on_frame_(payload.slice(1, payload.size() - 1));
+    return;
+  }
+  if (tag != kWireCoalescedTag) {
+    // The sending side only ever writes the two known tags; anything else
+    // means the stream (or our notion of its format) is corrupt.
+    ++corrupt_;
+    poisoned_ = true;
+    return;
+  }
+  ++coalesced_;
+  std::size_t pos = 1;
+  while (pos < payload.size()) {
+    std::uint64_t len = 0;
+    int shift = 0;
+    bool terminated = false;
+    while (pos < payload.size() && shift < 64) {
+      const std::uint8_t b = payload[pos++];
+      len |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) {
+        terminated = true;
+        break;
+      }
+      shift += 7;
+    }
+    if (!terminated || len > payload.size() - pos) {
+      ++corrupt_;
+      poisoned_ = true;
+      return;
+    }
+    ++submsgs_;
+    on_frame_(payload.slice(pos, static_cast<std::size_t>(len)));
+    if (poisoned_) return;  // callback may have torn us down
+    pos += static_cast<std::size_t>(len);
+  }
 }
 
 void FrameDecoder::release_slab() noexcept {
@@ -188,7 +263,7 @@ bool FrameDecoder::feed(std::span<const std::uint8_t> chunk) {
   if (!slab_) return true;  // empty chunk, nothing buffered
   return parse(slab_->bytes(), start_, end_, [this](std::size_t at,
                                                     std::size_t len) {
-    on_frame_(BufSlice{slab_, slab_->bytes() + at, len, /*add_ref=*/true});
+    emit_payload(BufSlice{slab_, slab_->bytes() + at, len, /*add_ref=*/true});
   });
 }
 
@@ -201,7 +276,7 @@ bool FrameDecoder::feed(const BufSlice& chunk) {
     const bool ok =
         parse(chunk.data(), pos, chunk.size(),
               [this, &chunk](std::size_t at, std::size_t len) {
-                on_frame_(chunk.slice(at, len));
+                emit_payload(chunk.slice(at, len));
               });
     if (!ok) return false;
     if (pos < chunk.size()) {

@@ -37,6 +37,32 @@ inline constexpr std::size_t kDefaultMaxFrameBytes = 16 * 1024 * 1024;
 /// Bytes of framing overhead per frame (length + CRC).
 inline constexpr std::size_t kFrameHeaderBytes = 8;
 
+// --- Wire format v2 (coalescing-capable frame payloads) ---------------------
+//
+// When both endpoints opt in (NetworkConfig::enable_delta / enable_coalescing
+// — the flags must be cluster-symmetric), every frame payload starts with a
+// one-byte format tag:
+//   kWireSingleTag    | message bytes                  (one message per frame)
+//   kWireCoalescedTag | (varint length | message)...   (many messages/frame)
+// so many small messages amortise one length/CRC header. The default (v1)
+// format has no tag: a frame payload *is* one message, byte-identical to the
+// pre-coalescing wire format — the golden-frame tests pin that.
+
+/// Frame carries exactly one message after the tag.
+inline constexpr std::uint8_t kWireSingleTag = 0xE1;
+/// Frame carries a sequence of varint-length-prefixed messages.
+inline constexpr std::uint8_t kWireCoalescedTag = 0xE2;
+
+/// Tags `encoded` as a v2 single-message frame payload (in-place headroom
+/// prepend when possible, else one counted copy).
+BufSlice encode_wire_single(BufSlice encoded);
+
+/// Gathers encoded sub-messages into one v2 coalesced frame payload
+/// ([tag][varint len|bytes]...) with `headroom` spare bytes for the frame
+/// header. One copy per sub-message — the price of amortising the header.
+BufSlice encode_wire_coalesced(std::span<const BufSlice> subs,
+                               std::size_t headroom = kFrameHeaderBytes);
+
 /// CRC-32 (IEEE 802.3 polynomial, reflected) of a byte span.
 std::uint32_t crc32(std::span<const std::uint8_t> data);
 
@@ -73,6 +99,13 @@ class FrameDecoder {
 
   void set_on_frame(FrameFn fn) { on_frame_ = std::move(fn); }
 
+  /// Switches the decoder to wire format v2: each CRC-validated frame
+  /// payload is split on its format tag and emitted as one sub-slice per
+  /// message (zero-copy — sub-slices share the frame's slab). An unknown
+  /// tag or a malformed sub-message length poisons the stream just like a
+  /// CRC failure: the framing is untrusted from that byte on.
+  void set_wire_v2(bool on) { wire_v2_ = on; }
+
   /// Consumes a stream chunk. Returns false (and poisons the decoder) if a
   /// frame header exceeds the size limit or a frame fails its CRC — the
   /// stream is unrecoverable then.
@@ -89,6 +122,10 @@ class FrameDecoder {
   std::uint64_t frames_decoded() const { return frames_; }
   /// Frames rejected because their payload failed the CRC check.
   std::uint64_t frames_corrupt() const { return corrupt_; }
+  /// v2 frames that carried more than one message.
+  std::uint64_t coalesced_frames() const { return coalesced_; }
+  /// Messages emitted from v2 frames (single + coalesced sub-messages).
+  std::uint64_t submessages() const { return submsgs_; }
 
  private:
   /// Parses complete frames out of [data + start, data + end); emits via
@@ -98,6 +135,9 @@ class FrameDecoder {
   bool parse(const std::uint8_t* data, std::size_t& start, std::size_t end,
              EmitFn&& emit);
   void append(std::span<const std::uint8_t> chunk);
+  /// Hands one CRC-validated frame payload to the callback; under wire v2
+  /// this splits coalesced payloads into per-message sub-slices first.
+  void emit_payload(BufSlice payload);
   void release_slab() noexcept;
   void move_from(FrameDecoder& other) noexcept {
     max_frame_ = other.max_frame_;
@@ -105,8 +145,11 @@ class FrameDecoder {
     start_ = other.start_;
     end_ = other.end_;
     poisoned_ = other.poisoned_;
+    wire_v2_ = other.wire_v2_;
     frames_ = other.frames_;
     corrupt_ = other.corrupt_;
+    coalesced_ = other.coalesced_;
+    submsgs_ = other.submsgs_;
     on_frame_ = std::move(other.on_frame_);
     other.slab_ = nullptr;
     other.start_ = other.end_ = 0;
@@ -117,8 +160,11 @@ class FrameDecoder {
   std::size_t start_ = 0;  ///< offset of the first unparsed byte
   std::size_t end_ = 0;    ///< offset past the last buffered byte
   bool poisoned_ = false;
+  bool wire_v2_ = false;
   std::uint64_t frames_ = 0;
   std::uint64_t corrupt_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t submsgs_ = 0;
   FrameFn on_frame_;
 };
 

@@ -23,10 +23,31 @@
 
 namespace kmsg::wire {
 
+/// Per-layer prepend budgets. Every layer that writes ahead of the payload
+/// declares its worst-case prefix here; the serialiser's headroom is their
+/// sum, so the whole outbound stack (delta tag, compression tag, wire-format
+/// tag) prepends in place without ever copying payload bytes.
+/// Delta codec: 1-byte keyframe/diff tag (messaging/serialization.hpp).
+inline constexpr std::size_t kDeltaTagBytes = 1;
+/// CompressionHandler: 1-byte stored-raw/compressed tag.
+inline constexpr std::size_t kCompressionTagBytes = 1;
+/// Wire-format v2: 1-byte single/coalesced frame tag (wire/framing.hpp).
+inline constexpr std::size_t kWireFormatTagBytes = 1;
+/// Coalescer sub-message header: varint length of one sub-message. Never
+/// prepended in place (the coalescer gathers into a fresh buffer), but
+/// budgeted so the headroom stays a safe upper bound if that changes.
+/// 5 varint bytes cover lengths up to 2^35 — far past kDefaultMaxFrameBytes.
+inline constexpr std::size_t kCoalesceSubHeaderMaxBytes = 5;
+
 /// Headroom bytes a serialiser should reserve ahead of the payload so that
-/// pipeline handlers (1 byte each, in practice) and the frame header can all
-/// prepend in place without copying.
+/// pipeline handlers and the wire-format tag can all prepend in place
+/// without copying (the frame header is budgeted separately, see
+/// kFrameHeaderBytes).
 inline constexpr std::size_t kPipelineHeadroomBytes = 8;
+static_assert(kDeltaTagBytes + kCompressionTagBytes + kWireFormatTagBytes +
+                      kCoalesceSubHeaderMaxBytes <=
+                  kPipelineHeadroomBytes,
+              "registered pipeline layers outgrew the serialiser headroom");
 
 class PipelineHandler {
  public:

@@ -101,7 +101,12 @@ std::optional<std::vector<std::uint8_t>> snappy_decompress(
   if (expected > (1ull << 32)) return std::nullopt;  // sanity cap: 4 GiB
 
   std::vector<std::uint8_t> out;
-  out.reserve(static_cast<std::size_t>(expected));
+  // Reserve only what the remaining input could actually produce: a copy tag
+  // (3 bytes) emits at most 0x7f + kMinMatch bytes, so a truncated stream
+  // whose length varint claims gigabytes cannot bomb the allocator here.
+  const std::size_t max_producible = (input.size() - pos) * kMaxMatch;
+  out.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(expected, max_producible)));
   while (pos < input.size()) {
     const std::uint8_t tag = input[pos++];
     if (tag & 0x80) {

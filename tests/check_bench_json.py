@@ -37,9 +37,26 @@ REQUIRED_BENCHMARKS = [
     "BM_MultiCoreDispatchCross/2/process_time/real_time",
     "BM_MultiCoreDispatchCross/4/process_time/real_time",
     "BM_MultiCoreDispatchCross/8/process_time/real_time",
+    # Wire efficiency: bytes_per_msg is the gated metric (delta encoding +
+    # frame coalescing on the many-small-messages workload).
+    "BM_SmallMsgWireBaseline",
+    "BM_SmallMsgWireDelta",
+    "BM_SmallMsgWireCoalesce",
+    "BM_SmallMsgWireBoth",
 ]
 REQUIRED_FIELDS = ["name", "real_time", "cpu_time", "time_unit", "iterations"]
 REQUIRED_COUNTERS = ["allocs_per_op", "alloc_bytes_per_op"]
+# Per-benchmark counters beyond the allocation pair.
+EXTRA_COUNTERS = {
+    "BM_SmallMsgWireBaseline": ["bytes_per_msg"],
+    "BM_SmallMsgWireDelta": ["bytes_per_msg"],
+    "BM_SmallMsgWireCoalesce": ["bytes_per_msg"],
+    "BM_SmallMsgWireBoth": ["bytes_per_msg"],
+}
+# Delta + coalescing must cut bytes/msg by at least this much vs the plain
+# per-message framing baseline (the headline wire-efficiency claim). Byte
+# counts are deterministic, so this holds in any build type.
+WIRE_REDUCTION_FLOOR_PCT = 40.0
 
 # Build types with full optimization; anything else is refused.
 OPTIMIZED_BUILD_TYPES = {"Release", "RelWithDebInfo", "MinSizeRel"}
@@ -100,7 +117,7 @@ def main():
         for field in REQUIRED_FIELDS:
             if field not in b:
                 fail(f"{name}: missing field '{field}'")
-        for counter in REQUIRED_COUNTERS:
+        for counter in REQUIRED_COUNTERS + EXTRA_COUNTERS.get(name, []):
             if counter not in b:
                 fail(f"{name}: missing counter '{counter}'")
         if b["time_unit"] != "ns":
@@ -108,6 +125,22 @@ def main():
         if b["real_time"] <= 0:
             fail(f"{name}: non-positive real_time")
 
+    baseline_bpm = benches["BM_SmallMsgWireBaseline"]["bytes_per_msg"]
+    both_bpm = benches["BM_SmallMsgWireBoth"]["bytes_per_msg"]
+    if baseline_bpm <= 0:
+        fail("BM_SmallMsgWireBaseline: non-positive bytes_per_msg")
+    reduction_pct = (1.0 - both_bpm / baseline_bpm) * 100.0
+    if reduction_pct < WIRE_REDUCTION_FLOOR_PCT:
+        fail(
+            f"wire efficiency floor broken: delta+coalescing achieves only "
+            f"{reduction_pct:.1f}% bytes/msg reduction over baseline "
+            f"({baseline_bpm:.1f} -> {both_bpm:.1f}), "
+            f"floor is {WIRE_REDUCTION_FLOOR_PCT:.0f}%"
+        )
+    print(
+        f"ok: wire efficiency {baseline_bpm:.1f} -> {both_bpm:.1f} bytes/msg "
+        f"({reduction_pct:.1f}% reduction, floor {WIRE_REDUCTION_FLOOR_PCT:.0f}%)"
+    )
     print(
         f"ok: {len(REQUIRED_BENCHMARKS)} benchmarks validated "
         f"(build type: {build_type})"

@@ -5,6 +5,11 @@ Diffs a fresh google-benchmark JSON run (build/BENCH_micro.json) against the
 committed perf trajectory (BENCH_micro.json at the repo root) and fails if any
 benchmark regressed by more than --threshold (default 15%) in ns/op.
 
+Benchmarks reporting a bytes_per_msg counter (the wire-efficiency rows) are
+additionally gated on it with --bytes-threshold (default 5%). Byte counts are
+deterministic — they do not depend on build type or host load — so this gate
+is a hard failure even when the timing gate is soft.
+
 The committed file is the curated trajectory format ({"benchmarks": {name:
 {"after_ns_per_op": ...}}}); the fresh file is raw google-benchmark output
 ({"benchmarks": [{"name": ..., "real_time": ...}]}). Both shapes are accepted
@@ -68,6 +73,24 @@ def ns_per_op(doc):
     return out
 
 
+def bytes_per_msg(doc):
+    """Returns {benchmark name: bytes_per_msg} from either JSON shape."""
+    benches = doc.get("benchmarks")
+    out = {}
+    if isinstance(benches, list):  # raw: user counters are direct keys
+        for b in benches:
+            name = b.get("name")
+            v = b.get("bytes_per_msg")
+            if name is not None and isinstance(v, (int, float)) and v > 0:
+                out[name] = float(v)
+    elif isinstance(benches, dict):  # curated trajectory format
+        for name, e in benches.items():
+            v = e.get("after_bytes_per_msg")
+            if isinstance(v, (int, float)) and v > 0:
+                out[name] = float(v)
+    return out
+
+
 def is_soft(doc):
     """True when timings are not comparable to the committed Release numbers."""
     ctx = doc.get("context", {})
@@ -83,6 +106,8 @@ def main():
     ap.add_argument("baseline", help="committed baseline (trajectory or raw)")
     ap.add_argument("--threshold", type=float, default=15.0,
                     help="max allowed ns/op regression in percent")
+    ap.add_argument("--bytes-threshold", type=float, default=5.0,
+                    help="max allowed bytes_per_msg regression in percent")
     args = ap.parse_args()
 
     fresh_doc = load(args.fresh)
@@ -119,6 +144,25 @@ def main():
         print(f"{name}: missing from fresh run (no current number)")
     for name in sorted(set(fresh) - set(base)):
         print(f"{name}: no committed baseline (new benchmark)")
+
+    # Wire-efficiency gate: bytes/msg must not creep back up. Deterministic,
+    # so enforced regardless of build type.
+    fresh_bytes = bytes_per_msg(fresh_doc)
+    base_bytes = bytes_per_msg(base_doc)
+    byte_regressions = []
+    for name in sorted(set(fresh_bytes) & set(base_bytes)):
+        b, f = base_bytes[name], fresh_bytes[name]
+        delta_pct = (f / b - 1.0) * 100.0
+        marker = ""
+        if delta_pct > args.bytes_threshold:
+            byte_regressions.append((name, delta_pct))
+            marker = "  <-- BYTES REGRESSION"
+        print(f"{name}: {b:.1f} -> {f:.1f} bytes/msg ({delta_pct:+.1f}%){marker}")
+    if byte_regressions:
+        summary = ", ".join(f"{n} +{d:.1f}%" for n, d in byte_regressions)
+        print(f"bench regression FAILURE (>{args.bytes_threshold:.0f}% "
+              f"bytes/msg): {summary}", file=sys.stderr)
+        sys.exit(1)
 
     if regressions:
         summary = ", ".join(f"{n} +{d:.1f}%" for n, d in regressions)

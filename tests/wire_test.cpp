@@ -191,6 +191,100 @@ TEST(SnappyTest, MalformedInputRejected) {
   EXPECT_FALSE(snappy_decompress(short_out));
 }
 
+// --- Snappy adversarial inputs: the decompressor sees attacker-shaped bytes
+// (a corrupted or hostile stream survives the frame CRC with probability
+// 2^-32), so every tag must be bounds-checked and no length field trusted.
+
+TEST(SnappyAdversarialTest, TruncatedTagsRejected) {
+  // Literal tag promising a 64-byte run with no (or short) run bytes.
+  EXPECT_FALSE(snappy_decompress(std::vector<std::uint8_t>{64, 63}));
+  EXPECT_FALSE(snappy_decompress(std::vector<std::uint8_t>{64, 63, 'x', 'y'}));
+  // Copy tag cut off before its 2-byte offset (and mid-offset).
+  EXPECT_FALSE(snappy_decompress(std::vector<std::uint8_t>{8, 0x80}));
+  EXPECT_FALSE(snappy_decompress(std::vector<std::uint8_t>{8, 0x80, 0x00}));
+  // A valid literal followed by a truncated second tag.
+  EXPECT_FALSE(snappy_decompress(std::vector<std::uint8_t>{9, 0x00, 'a', 0x85, 0x00}));
+}
+
+TEST(SnappyAdversarialTest, CopyOffsetsBeyondOutputRejected) {
+  // Offset of 2 with only 1 byte produced so far.
+  EXPECT_FALSE(snappy_decompress(
+      std::vector<std::uint8_t>{5, 0x00, 'a', 0x80, 0x00, 0x02}));
+  // Zero offset (self-copy) is never valid.
+  EXPECT_FALSE(snappy_decompress(
+      std::vector<std::uint8_t>{5, 0x00, 'a', 0x80, 0x00, 0x00}));
+}
+
+TEST(SnappyAdversarialTest, OverlappingCopyReplicatesExactly) {
+  // Hand-built stream: literal "ab", then a copy of length 6 at offset 2 —
+  // the overlap must replicate RLE-style: "ab" + "ababab".
+  const std::vector<std::uint8_t> stream{8, 0x01, 'a', 'b',
+                                         0x80 | (6 - 4), 0x00, 0x02};
+  auto d = snappy_decompress(stream);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(std::string(d->begin(), d->end()), "abababab");
+}
+
+TEST(SnappyAdversarialTest, VarintLengthOverflowRejected) {
+  // 10 continuation bytes push the shift past 64 bits: overflow, not wrap.
+  std::vector<std::uint8_t> overflow(11, 0xFF);
+  overflow[10] = 0x7F;
+  EXPECT_FALSE(snappy_decompress(overflow));
+  // An unterminated varint (all continuation bits) must also fail.
+  EXPECT_FALSE(snappy_decompress(std::vector<std::uint8_t>{0xFF, 0xFF}));
+}
+
+TEST(SnappyAdversarialTest, HugeClaimedLengthDoesNotPreallocate) {
+  // Claims ~4 GiB of output from a 3-byte body. The decompressor must not
+  // reserve the claimed length (allocator bomb): the tiny input bounds what
+  // the stream could possibly produce. It fails on length mismatch instead.
+  std::vector<std::uint8_t> bomb{0xFF, 0xFF, 0xFF, 0xFF, 0x0F};  // 2^32 - 1
+  bomb.insert(bomb.end(), {0x00, 'a', 0x00});
+  EXPECT_FALSE(snappy_decompress(bomb));
+  // Over the 4 GiB sanity cap: rejected before any allocation.
+  std::vector<std::uint8_t> over{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F};
+  EXPECT_FALSE(snappy_decompress(over));
+}
+
+TEST(SnappyAdversarialTest, SeededGarbageNeverCrashesOrOverproduces) {
+  // Property: arbitrary bytes either decompress to exactly the claimed
+  // length or are rejected — never a crash, never unbounded output.
+  Rng rng(0xdec0de);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.next_below(256);
+    std::vector<std::uint8_t> garbage(n);
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    const auto d = snappy_decompress(garbage);
+    if (d) {
+      // kMaxMatch = 131: no 3-byte tag can emit more, so output is bounded
+      // by input size * 131.
+      EXPECT_LE(d->size(), n * 131) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SnappyAdversarialTest, SeededCorruptionOfValidStreams) {
+  // Property: flipping one byte of a valid stream must never crash or
+  // over-produce; it may still round-trip (the flip hit a literal byte) or
+  // be rejected, but any accepted output stays bounded.
+  Rng rng(0xc0447);
+  std::string phrase = "delta frames coalesce over snappy handlers ";
+  std::vector<std::uint8_t> input;
+  for (int i = 0; i < 40; ++i) {
+    input.insert(input.end(), phrase.begin(), phrase.end());
+  }
+  const auto valid = snappy_compress(input);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = valid;
+    corrupted[rng.next_below(corrupted.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.next_below(255));
+    const auto d = snappy_decompress(corrupted);
+    if (d) {
+      EXPECT_LE(d->size(), corrupted.size() * 131) << "trial " << trial;
+    }
+  }
+}
+
 TEST(SnappyTest, OverlappingCopyRleSemantics) {
   // "abcabcabc..." exercises overlapping copies (offset < length).
   std::vector<std::uint8_t> input;
